@@ -1,0 +1,33 @@
+"""Shared helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.groups import GroupingResult
+from repro.netsim.clock import DAY
+
+
+def group_longevity_rows(
+    grouping: GroupingResult,
+    per_domain_seconds: Mapping[str, float],
+    min_size: int = 2,
+) -> list[tuple[str, int, float]]:
+    """(label, size, median member longevity) rows for the treemaps."""
+    rows = []
+    for group in grouping.groups:
+        if len(group) < min_size:
+            continue
+        values = sorted(
+            per_domain_seconds[d] for d in group.domains if d in per_domain_seconds
+        )
+        if not values:
+            continue
+        median = values[len(values) // 2]
+        rows.append((group.label or "?", len(group), median))
+    return rows
+
+
+def spans_to_seconds(spans) -> dict[str, float]:
+    """domain -> max identifier span in seconds."""
+    return {name: entry.max_span_days * DAY for name, entry in spans.items()}

@@ -1,0 +1,65 @@
+"""Ablation — sampled cross-domain probing vs. ground truth.
+
+The paper's §5.1 probe tests only ≤5 same-AS and ≤5 same-IP peers per
+domain and grows groups transitively, calling the result "a lower
+bound".  With ground truth available we can quantify the bound: how
+much of each true shared-cache group does the sampled probe recover?
+"""
+
+from repro.core import groups_from_edges
+
+
+def compute(dataset):
+    return groups_from_edges(
+        dataset.cache_edges, dataset.crossdomain_targets,
+        dataset.domain_asn, dataset.as_names,
+    )
+
+
+def test_ablation_group_sampling(bench_data, benchmark, save_artifact):
+    dataset, truth = bench_data
+    grouping = benchmark(compute, dataset)
+
+    cache_group_of = truth["cache_group_of"]
+    true_sizes: dict[str, int] = {}
+    probed = set(dataset.crossdomain_targets)
+    for domain, gid in cache_group_of.items():
+        if domain in probed:
+            true_sizes[gid] = true_sizes.get(gid, 0) + 1
+
+    # For each measured multi-domain group: recall against its true group.
+    recalls = []
+    merged_errors = 0
+    for group in grouping.groups:
+        if len(group) < 2:
+            continue
+        gids = {cache_group_of.get(d) for d in group.domains}
+        if len(gids) != 1:
+            merged_errors += 1
+            continue
+        gid = gids.pop()
+        recalls.append(len(group) / true_sizes[gid])
+
+    mean_recall = sum(recalls) / len(recalls) if recalls else 0.0
+    true_multi = sum(1 for size in true_sizes.values() if size >= 2)
+    found_multi = sum(1 for g in grouping.groups if len(g) >= 2)
+
+    text = "\n".join([
+        "Ablation: sampled cross-domain probing (<=5 same-AS + <=5 same-IP)",
+        "",
+        f"true multi-domain cache groups (among probed): {true_multi}",
+        f"measured multi-domain groups:                  {found_multi}",
+        f"mean per-group recall:                         {mean_recall:.1%}",
+        f"groups wrongly merged across true boundaries:  {merged_errors}",
+        "",
+        "Sampling + transitive growth recovers most of each shared cache",
+        "and never invents sharing (a sound lower bound, as claimed).",
+    ])
+    save_artifact("ablation_group_sampling.txt", text)
+
+    # Soundness: no measured group spans two true groups.
+    assert merged_errors == 0
+    # The estimator is a useful lower bound: it finds most big groups
+    # and recovers a substantial fraction of each.
+    assert recalls, "no multi-domain groups found"
+    assert mean_recall > 0.5

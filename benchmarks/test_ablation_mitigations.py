@@ -1,0 +1,58 @@
+"""Ablation — §8.2 recommendations applied counterfactually.
+
+The paper recommends rotating STEKs frequently, capping session-cache
+lifetimes, and never reusing (EC)DHE values.  This ablation applies
+each recommendation to the measured vulnerability windows and shows how
+much of the 38%/22%/10% exposure tail each one removes — and that only
+the combination collapses it.
+"""
+
+from repro.core import (
+    combine_windows,
+    kex_spans,
+    session_lifetime_by_domain,
+    stek_spans,
+)
+from repro.core.mitigations import (
+    evaluate_mitigations,
+    render_mitigation_report,
+)
+
+
+def compute(dataset):
+    always = set(dataset.always_present)
+    windows = combine_windows(
+        stek_spans_by_domain=stek_spans(dataset.ticket_daily, always),
+        session_lifetimes=session_lifetime_by_domain(dataset.session_probes),
+        dhe_spans_by_domain=kex_spans(dataset.dhe_daily, always, kind="dhe"),
+        ecdhe_spans_by_domain=kex_spans(dataset.ecdhe_daily, always, kind="ecdhe"),
+    )
+    return evaluate_mitigations(windows)
+
+
+def test_ablation_mitigations(bench_data, benchmark, save_artifact):
+    dataset, _ = bench_data
+    report = benchmark(compute, dataset)
+    save_artifact("ablation_mitigations.txt", render_mitigation_report(report))
+
+    baseline = report.baseline
+    assert baseline.over_24_hours > 0
+
+    rotate = report.by_policy["rotate STEKs daily"]
+    combined = report.by_policy["all §8.2 recommendations"]
+    disable = report.by_policy["disable resumption and reuse entirely"]
+
+    # STEK rotation is the single biggest lever (tickets dominate §6.1)…
+    assert report.improvement_over_24h("rotate STEKs daily") > 0.3
+    # …but alone it cannot fix DH reuse or long caches.
+    assert rotate.over_24_hours > 0
+    # The full recommendation set removes the multi-day tail entirely
+    # (ticket windows capped at 24 h are not > 24 h).
+    assert combined.over_7_days == 0
+    assert combined.over_30_days == 0
+    # And disabling resumption zeroes everything.
+    assert disable.over_24_hours == 0
+    # No policy ever makes things worse.
+    for summary in report.by_policy.values():
+        assert summary.over_24_hours <= baseline.over_24_hours
+        assert summary.over_7_days <= baseline.over_7_days

@@ -1,0 +1,49 @@
+"""Figure 3 — STEK Lifetime.
+
+Paper: of ticket-issuing always-present domains, 64% used a fresh
+issuing STEK each day; 36% reused ≥1 day, 22% >7 days, 10% >30 days
+(the 30-day figure requires the full 63-day corpus).
+"""
+
+from repro.core import max_span_cdf, span_fractions, stek_spans
+from repro.figures import ascii_cdf
+
+from conftest import BENCH_DAYS
+
+
+def compute(dataset):
+    spans = stek_spans(dataset.ticket_daily, set(dataset.always_present))
+    return spans, span_fractions(spans), max_span_cdf(spans)
+
+
+def test_fig3_stek_lifetime(bench_data, benchmark, save_artifact):
+    dataset, _ = bench_data
+    spans, fractions, cdf = benchmark(compute, dataset)
+
+    text = "\n\n".join([
+        ascii_cdf(cdf, "Figure 3: STEK lifetime (max span per domain, days)",
+                  x_label="max span of a STEK (days)",
+                  x_formatter=lambda d: f"{d:.0f}d", min_x=0.5, log_x=False),
+        f"domains issuing tickets: {len(spans)}",
+        "reuse >= 1 day: {:.1%}   >= 7 days: {:.1%}   >= 30 days: {:.1%}".format(
+            fractions[1], fractions[7], fractions[30]
+        ),
+    ])
+    save_artifact("fig3_stek_lifetime.txt", text)
+    from repro.figures import cdf_svg
+    save_artifact("fig3_stek_lifetime.svg", cdf_svg(
+        {"STEK max span": cdf}, title="Figure 3: STEK lifetime",
+        x_label="max span of a STEK (days)", log_x=False,
+        x_formatter=lambda d: f"{d:.0f}d", x_min=0.0 + 0.5))
+
+    assert len(spans) > 100
+    # Paper §6.1: ~36% of issuers reuse >= 1 day.
+    assert 0.20 < fractions[1] < 0.55
+    if BENCH_DAYS >= 10:
+        # >= 7 days ≈ 22%.
+        assert 0.10 < fractions[7] < 0.40
+        assert fractions[7] < fractions[1]
+    if BENCH_DAYS >= 40:
+        # >= 30 days ≈ 10%.
+        assert 0.04 < fractions[30] < 0.25
+        assert fractions[30] < fractions[7]

@@ -1,0 +1,56 @@
+"""Figure 6 — STEK Sharing and Longevity Visualization.
+
+Paper: boxes sized by service-group domain count, colored by STEK
+longevity.  The two biggest groups (CloudFlare, Google) rotate within
+24 h (green); TMall and Fastly never rotated (solid red); Jack Henry's
+79 bank domains shared one key for 59 days.
+"""
+
+from benchhelpers import group_longevity_rows, spans_to_seconds
+
+from repro.core import groups_from_shared_identifiers, stek_spans
+from repro.figures import layout_treemap, render_treemap, severity_histogram
+from repro.netsim.clock import DAY
+
+from conftest import BENCH_DAYS
+
+
+def compute(dataset):
+    grouping = groups_from_shared_identifiers(
+        [dataset.ticket_support, dataset.ticket_30min], "stek",
+        dataset.domain_asn, dataset.as_names,
+    )
+    spans = stek_spans(dataset.ticket_daily, set(dataset.always_present))
+    rows = group_longevity_rows(grouping, spans_to_seconds(spans))
+    return layout_treemap(rows), rows
+
+
+def test_fig6_stek_treemap(bench_data, benchmark, save_artifact):
+    dataset, _ = bench_data
+    cells, rows = benchmark(compute, dataset)
+    histogram = severity_histogram(cells)
+    text = render_treemap(
+        cells, title="Figure 6: STEK sharing x longevity (area = domains)"
+    ) + f"\n\ndomains per severity: {histogram}\ngroups: {rows}"
+    save_artifact("fig6_stek_treemap.txt", text)
+    from repro.figures import treemap_svg
+    save_artifact("fig6_stek_treemap.svg", treemap_svg(
+        cells, title="Figure 6: STEK sharing x longevity"))
+
+    by_label = {}
+    for label, size, longevity in rows:
+        by_label.setdefault(label, []).append((size, longevity))
+
+    # The two biggest groups are CloudFlare and Google, both sub-daily.
+    sizes = sorted(((size, label) for label, entries in by_label.items()
+                    for size, _ in entries), reverse=True)
+    assert sizes[0][1] == "cloudflare"
+    assert sizes[1][1] == "google"
+    assert max(l for s, l in by_label["cloudflare"]) < 2 * DAY
+    assert max(l for s, l in by_label["google"]) < 2 * DAY
+
+    if BENCH_DAYS >= 40:
+        # TMall and Fastly: never rotated -> red (>= 30 days).
+        assert by_label["tmall"][0][1] >= 30 * DAY
+        assert by_label["fastly"][0][1] >= 30 * DAY
+        assert histogram["red"] > 0

@@ -1,0 +1,78 @@
+"""Figure 7 — Session Caches and Diffie-Hellman Reuse Visualization.
+
+Paper: cache-group windows are minutes-to-24 h (Blogspot's five caches
+ran 4.5 h-24 h); DH groups are fewer and smaller but include long-lived
+red blocks (Affinity's 62-day value, Jimdo's 17/19-day values).
+"""
+
+from benchhelpers import group_longevity_rows, spans_to_seconds
+
+from repro.core import (
+    groups_from_edges,
+    groups_from_shared_identifiers,
+    kex_spans,
+    session_lifetime_by_domain,
+)
+from repro.figures import layout_treemap, render_treemap, severity_histogram
+from repro.netsim.clock import DAY, HOUR
+
+from conftest import BENCH_DAYS
+
+
+def compute(dataset):
+    cache_grouping = groups_from_edges(
+        dataset.cache_edges, dataset.crossdomain_targets,
+        dataset.domain_asn, dataset.as_names,
+    )
+    cache_lifetimes = session_lifetime_by_domain(dataset.session_probes)
+    cache_rows = group_longevity_rows(cache_grouping, cache_lifetimes)
+
+    always = set(dataset.always_present)
+    dh_grouping = groups_from_shared_identifiers(
+        [dataset.dhe_support, dataset.dhe_30min,
+         dataset.ecdhe_support, dataset.ecdhe_30min],
+        "dh", dataset.domain_asn, dataset.as_names,
+    )
+    dh_seconds = {}
+    for kind, observations in (("dhe", dataset.dhe_daily), ("ecdhe", dataset.ecdhe_daily)):
+        for name, seconds in spans_to_seconds(
+            kex_spans(observations, always, kind=kind)
+        ).items():
+            dh_seconds[name] = max(dh_seconds.get(name, 0.0), seconds)
+    dh_rows = group_longevity_rows(dh_grouping, dh_seconds)
+    return cache_rows, dh_rows
+
+
+def test_fig7_cache_dh_treemap(bench_data, benchmark, save_artifact):
+    dataset, _ = bench_data
+    cache_rows, dh_rows = benchmark(compute, dataset)
+
+    cache_cells = layout_treemap(cache_rows)
+    dh_cells = layout_treemap(dh_rows)
+    text = "\n\n".join([
+        render_treemap(cache_cells, title="Figure 7 (left): session caches"),
+        f"cache domains per severity: {severity_histogram(cache_cells)}",
+        render_treemap(dh_cells, title="Figure 7 (right): Diffie-Hellman reuse"),
+        f"DH domains per severity: {severity_histogram(dh_cells)}",
+    ])
+    save_artifact("fig7_cache_dh_treemap.txt", text)
+    from repro.figures import treemap_svg
+    save_artifact("fig7_caches_treemap.svg", treemap_svg(
+        cache_cells, title="Figure 7 (left): session caches"))
+    save_artifact("fig7_dh_treemap.svg", treemap_svg(
+        dh_cells, title="Figure 7 (right): Diffie-Hellman reuse"))
+
+    cache_by_label = {}
+    for label, size, longevity in cache_rows:
+        cache_by_label.setdefault(label, []).append(longevity)
+
+    # CloudFlare's big caches run short windows; Google's run long.
+    assert max(cache_by_label["cloudflare"]) <= 1 * HOUR
+    assert max(cache_by_label["google"]) >= 4 * HOUR
+
+    # DH sharing is smaller in total than cache sharing (paper §6.3)…
+    assert sum(size for _, size, _ in dh_rows) < sum(size for _, size, _ in cache_rows)
+    if BENCH_DAYS >= 40:
+        # …but contains long-lived red blocks (Affinity never rotates).
+        dh_by_label = dict((label, longevity) for label, _, longevity in dh_rows)
+        assert dh_by_label.get("affinity", 0) >= 30 * DAY

@@ -1,0 +1,80 @@
+"""Library micro-benchmarks (not a paper artifact).
+
+Throughput of the primitives the simulated scans lean on — useful when
+sizing larger corpora (`REPRO_BENCH_POPULATION`) and for catching
+performance regressions in the pure-Python crypto.
+"""
+
+import pytest
+
+from repro.crypto import ec, rsa
+from repro.crypto.aes import AES
+from repro.crypto.rng import DeterministicRandom
+from repro.tls.ciphers import MODERN_BROWSER_OFFER
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests"))
+from helpers import make_rig
+
+
+RNG = DeterministicRandom(31415)
+
+
+def test_bench_aes_block(benchmark):
+    cipher = AES(RNG.random_bytes(16))
+    block = RNG.random_bytes(16)
+    out = benchmark(cipher.encrypt_block, block)
+    assert cipher.decrypt_block(out) == block
+
+
+def test_bench_ec_keygen_secp128r1(benchmark):
+    keypair = benchmark(ec.generate_keypair, ec.SECP128R1, RNG)
+    assert ec.is_on_curve(ec.SECP128R1, keypair.public)
+
+
+def test_bench_ec_shared_secret_p256(benchmark):
+    ours = ec.generate_keypair(ec.P256, RNG)
+
+    def fresh_shared():
+        # A fresh peer defeats the shared-secret memo, so this measures
+        # a genuine scalar multiplication.
+        peer = ec.generate_keypair(ec.P256, RNG)
+        return ours.shared_secret(peer.public)
+
+    benchmark(fresh_shared)
+
+
+def test_bench_rsa_sign(benchmark):
+    key = rsa.generate_keypair(512, RNG)
+    signature = benchmark(key.sign, b"server key exchange params")
+    assert key.public.verify(b"server key exchange params", signature)
+
+
+def test_bench_full_handshake(benchmark):
+    rig = make_rig(seed=2718)
+
+    def handshake():
+        result = rig.client.connect(rig.server, "example.com",
+                                    offer=MODERN_BROWSER_OFFER)
+        assert result.ok
+        return result
+
+    benchmark(handshake)
+
+
+def test_bench_abbreviated_handshake(benchmark):
+    rig = make_rig(seed=161, ticket_window=10**9)
+    first = rig.client.connect(rig.server, "example.com")
+    assert first.ok and first.new_ticket is not None
+
+    def resume():
+        result = rig.client.connect(
+            rig.server, "example.com",
+            ticket=first.new_ticket.ticket, saved_session=first.session,
+        )
+        assert result.resumed
+        return result
+
+    benchmark(resume)

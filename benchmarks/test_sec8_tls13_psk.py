@@ -1,0 +1,82 @@
+"""§8.1 extension — TLS 1.3 (draft-15) PSK exposure.
+
+The paper warns that TLS 1.3's PSKs re-create the session-ticket
+attack surface: draft-15 allows 7-day PSK lifetimes, 0-RTT data is
+keyed by the PSK alone, and ``psk_ke`` resumption gives up forward
+secrecy entirely.  This benchmark models a fleet of domains resuming
+under each mode and measures what a PSK-key thief can decrypt.
+"""
+
+from repro.crypto import ec
+from repro.crypto.rng import DeterministicRandom
+from repro.netsim.clock import DAY
+from repro.tls13 import (
+    DRAFT15_MAX_PSK_LIFETIME,
+    PskIssuer,
+    PskMode,
+    attacker_recover_keys,
+    resume,
+)
+
+FLEET = 200
+
+
+def simulate_fleet(seed=99):
+    """Issue PSKs, resume under all modes, then steal the issuer key."""
+    rng = DeterministicRandom(seed)
+    issuer = PskIssuer(rng.fork("issuer"))
+    records = []
+    for index in range(FLEET):
+        secret = rng.random_bytes(32)
+        psk = issuer.issue(secret, now=index * 600.0, domain=f"d{index}.example")
+        cr, sr = rng.random_bytes(32), rng.random_bytes(32)
+        mode = PskMode.PSK_KE if index % 2 == 0 else PskMode.PSK_DHE_KE
+        reused_dh = (index % 10 == 1)  # 10% of DHE resumptions reuse values
+        server_kp = ec.generate_keypair(ec.SECP128R1, rng) if reused_dh else None
+        keys, used_kp, client_pub = resume(
+            psk, cr, sr, mode, rng, server_keypair=server_kp
+        )
+        records.append((psk, cr, sr, mode, keys, used_kp if reused_dh else None,
+                        client_pub))
+
+    # The theft: the issuer's long-lived encryption key.
+    full, early_only, safe = 0, 0, 0
+    for psk, cr, sr, mode, keys, leaked_kp, client_pub in records:
+        stolen_secret = issuer.attacker_open_identity(psk.identity)
+        assert stolen_secret == psk.secret
+        recovered = attacker_recover_keys(
+            stolen_secret, cr, sr, mode,
+            observed_client_public=client_pub,
+            stolen_server_keypair=leaked_kp,
+        )
+        if recovered.traffic_secret == keys.traffic_secret:
+            full += 1
+        elif recovered.early_data_secret == keys.early_data_secret:
+            early_only += 1
+        else:
+            safe += 1
+    return full, early_only, safe
+
+
+def test_sec8_tls13_psk_exposure(benchmark, save_artifact):
+    full, early_only, safe = benchmark(simulate_fleet)
+
+    text = "\n".join([
+        "TLS 1.3 (draft-15) PSK exposure under issuer-key theft",
+        "",
+        f"resumed connections simulated:      {FLEET}",
+        f"fully decrypted (psk_ke / reused DH): {full}",
+        f"0-RTT early data only (psk_dhe_ke):   {early_only}",
+        f"fully protected:                      {safe}",
+        "",
+        f"draft-15 PSK lifetime ceiling: {DRAFT15_MAX_PSK_LIFETIME / DAY:.0f} days",
+        "psk_ke re-creates the RFC 5077 exposure; psk_dhe_ke protects",
+        "1-RTT data but 0-RTT early data always falls to PSK theft.",
+    ])
+    save_artifact("sec8_tls13_psk.txt", text)
+
+    # All psk_ke connections (half) + the reused-DH psk_dhe_ke slice fall.
+    assert full == FLEET // 2 + FLEET // 10
+    # Every remaining psk_dhe_ke connection leaks exactly its 0-RTT data.
+    assert early_only == FLEET - full
+    assert safe == 0  # 0-RTT always falls — §8.1's sharpest point

@@ -1,0 +1,42 @@
+"""Table 3 — Top Domains with Prolonged DHE Reuse.
+
+Paper rows: netflix.com (59 d), fc2.com (18), ebay.in (7), ebay.it (8),
+bleacherreport.com (24), kayak.com (13), cbssports.com (60),
+gamefaqs.com (12), overstock.com (17), cookpad.com (63).
+"""
+
+from repro.core import kex_spans, top_reuse_rows
+from repro.core.report import render_top_reuse
+
+from conftest import BENCH_DAYS
+
+MIN_DAYS = 7 if BENCH_DAYS >= 40 else max(2, BENCH_DAYS // 3)
+
+
+def compute(dataset):
+    spans = kex_spans(dataset.dhe_daily, set(dataset.always_present), kind="dhe")
+    return top_reuse_rows(spans, dataset.ranks, min_days=MIN_DAYS, top_n=10), spans
+
+
+def test_table3_top_dhe_reuse(bench_data, benchmark, save_artifact):
+    dataset, _ = bench_data
+    rows, spans = benchmark(compute, dataset)
+    save_artifact(
+        "table3_top_dhe.txt",
+        render_top_reuse(rows, "Table 3: top domains with prolonged DHE reuse "
+                               f"(>= {MIN_DAYS} days)"),
+    )
+
+    assert rows
+    assert [row.rank for row in rows] == sorted(row.rank for row in rows)
+    named = {row.domain for row in rows}
+    expected = {"netflix.com", "fc2.com", "cbssports.com", "cookpad.com",
+                "bleacherreport.com", "kayak.com", "ebay.in", "ebay.it",
+                "overstock.com", "gamefaqs.com"}
+    assert len(named & expected) >= 4, named
+
+    by_name = {row.domain: row for row in rows}
+    if "cookpad.com" in by_name:
+        assert by_name["cookpad.com"].days == BENCH_DAYS  # never regenerated
+    if "fc2.com" in by_name and BENCH_DAYS >= 20:
+        assert 16 <= by_name["fc2.com"].days <= 19

@@ -1,0 +1,50 @@
+"""Table 4 — Top Domains with Prolonged ECDHE Reuse.
+
+Paper rows: netflix.com (59 d), whatsapp.com (62), vice.com (26),
+9gag.com (31), liputan6.com (28), paytm.com (27), playstation.com (11),
+woot.com (62), bleacherreport.com (24), leagueoflegends.com (27).
+"""
+
+from repro.core import kex_spans, top_reuse_rows
+from repro.core.report import render_top_reuse
+
+from conftest import BENCH_DAYS
+
+MIN_DAYS = 7 if BENCH_DAYS >= 40 else max(2, BENCH_DAYS // 3)
+
+
+def compute(dataset):
+    spans = kex_spans(dataset.ecdhe_daily, set(dataset.always_present), kind="ecdhe")
+    return (
+        top_reuse_rows(spans, dataset.ranks, min_days=MIN_DAYS, top_n=10),
+        top_reuse_rows(spans, dataset.ranks, min_days=MIN_DAYS, top_n=100),
+    )
+
+
+def test_table4_top_ecdhe_reuse(bench_data, benchmark, save_artifact):
+    dataset, _ = bench_data
+    rows, all_rows = benchmark(compute, dataset)
+    save_artifact(
+        "table4_top_ecdhe.txt",
+        render_top_reuse(rows, "Table 4: top domains with prolonged ECDHE reuse "
+                               f"(>= {MIN_DAYS} days)"),
+    )
+
+    assert rows
+    named = {row.domain for row in rows}
+    expected = {"netflix.com", "whatsapp.com", "vice.com", "9gag.com",
+                "liputan6.com", "paytm.com", "playstation.com", "woot.com",
+                "bleacherreport.com", "leagueoflegends.com"}
+    # At scaled populations, anonymous long-reusing independents land
+    # among the top ranks more densely than at 1M scale, so the top-10
+    # mixes them with the paper's named rows…
+    assert len(named & expected) >= 4, named
+    # …but every paper row must appear in the full >=7-day list.
+    all_named = {row.domain for row in all_rows}
+    assert expected <= all_named, expected - all_named
+
+    by_name = {row.domain: row for row in rows}
+    if "whatsapp.com" in by_name and BENCH_DAYS >= 63:
+        assert by_name["whatsapp.com"].days == 62
+    if "netflix.com" in by_name and BENCH_DAYS >= 61:
+        assert by_name["netflix.com"].days == 59

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Heartbleed-to-decryption, end to end (paper §2.1's threat made real).
+
+A passive observer records a "forward secret" HTTPS connection.  Later,
+a Heartbleed-class memory over-read against the server yields its
+session-ticket encryption key — and the recorded connection decrypts.
+
+Run:  python examples/heartbleed_harvest.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests"))
+from helpers import make_rig  # the same compact rig the test suite uses
+
+from repro.crypto.rng import DeterministicRandom
+from repro.nationstate import NationStateAttacker, PassiveCollector
+from repro.nationstate.leak import VulnerableServer, harvest_leaks
+
+
+def main() -> None:
+    rig = make_rig(seed=14)
+    collector = PassiveCollector()
+
+    # 1. A victim browses; an on-path observer records the wire bytes.
+    connection = rig.client.connect(rig.server, "example.com", capture=True)
+    assert connection.ok
+    rig.client.exchange_data(
+        connection, b"POST /login HTTP/1.1\r\n\r\nuser=alice&pass=hunter2"
+    )
+    recorded = collector.intercept("example.com", rig.clock.now(), connection.captured)
+    print(f"recorded connection: cipher={connection.cipher_suite.name}")
+    print(f"  forward-secret key exchange: {connection.forward_secret_kex}")
+    print(f"  application records captured: {len(recorded.app_records)}")
+
+    # 2. Days later: the server is vulnerable to a bounded over-read.
+    rig.clock.advance(3 * 86400)
+    vulnerable = VulnerableServer(rig.server, DeterministicRandom(99))
+    harvest = harvest_leaks(vulnerable, attempts=16)
+    print(f"\nheartbleed harvest after {harvest.leaks_used} probes:")
+    print(f"  STEKs recovered:          {len(harvest.steks)}")
+    print(f"  master secrets recovered: {len(harvest.master_secrets)}")
+    print(f"  kex privates recovered:   {len(harvest.kex_privates)}")
+
+    # 3. Retrospective decryption with the harvested key material.
+    attacker = NationStateAttacker()
+    attacker.steal_steks(harvest.steks)
+    outcome = attacker.decrypt(recorded)
+    print(f"\nretrospective decryption: success={outcome.success} "
+          f"(method={outcome.method})")
+    for plaintext in outcome.plaintexts:
+        print(f"  recovered: {plaintext[:60]!r}")
+    print("\nthe connection used ECDHE — 'forward secret' — but the ticket")
+    print("rode the wire encrypted under a key that outlived it by days.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The §7 threat, end to end: a passive collector records TLS traffic
+to a Google-like provider; months of "forward secret" connections fall
+to the theft of one 16-byte session-ticket encryption key.
+
+Everything the attacker uses is either on the wire (recorded flights)
+or stolen server state (the STEK) — no protocol backdoors.
+
+Run:  python examples/nation_state_decryption.py
+"""
+
+from repro import EcosystemConfig, build_ecosystem
+from repro.crypto.rng import DeterministicRandom
+from repro.nationstate import NationStateAttacker, PassiveCollector, analyze_target, render_report
+from repro.netsim.clock import HOUR
+from repro.scanner import ZGrabber
+
+
+def main() -> None:
+    ecosystem = build_ecosystem(EcosystemConfig(population=450, seed=1789,
+                                                failure_rate=0.0))
+    grabber = ZGrabber(ecosystem, DeterministicRandom(7))
+
+    # --- Phase 1: bulk passive collection (XKEYSCORE-style) -------------
+    collector = PassiveCollector()
+    victims = ["gmail.com", "drive.google.com", "docs.google.com", "youtube.com"]
+    print("passively recording TLS connections:")
+    for index, domain in enumerate(victims):
+        result, _, _ = grabber.connect(domain, capture=True)
+        assert result.ok, result.error
+        grabber.client.exchange_data(
+            result, f"GET /private/doc{index} HTTP/1.1\r\nHost: {domain}".encode()
+        )
+        recorded = collector.intercept(domain, ecosystem.clock.now(), result.captured)
+        print(f"  {domain:<22} ciphertext records: {len(recorded.app_records)}  "
+              f"cipher: {result.cipher_suite.name}")
+        ecosystem.advance_to(ecosystem.clock.now() + 2 * HOUR)
+
+    # The collector holds only wire bytes: no keys, no plaintext.
+    attacker = NationStateAttacker()
+    failures = attacker.decrypt_all(collector)
+    print(f"\nwithout stolen keys: {sum(1 for o in failures if o.success)}"
+          f"/{len(collector)} connections decryptable")
+
+    # --- Phase 2: the theft ------------------------------------------------
+    # One intrusion / subpoena / implant against the provider yields the
+    # current and retained STEKs — 32 bytes of key names aside, two
+    # 16-byte AES keys.
+    store = ecosystem.domain("google.com").stek_store
+    attacker.steal_steks(store.all_keys)
+    print(f"\nstolen: {len(store.all_keys)} STEKs "
+          f"({', '.join(s.key_name.hex()[:8] + '…' for s in store.all_keys)})")
+
+    # --- Phase 3: retrospective decryption ---------------------------------
+    outcomes = attacker.decrypt_all(collector)
+    decrypted = [o for o in outcomes if o.success]
+    print(f"with stolen STEKs: {len(decrypted)}/{len(collector)} "
+          f"connections decrypted\n")
+    for domain, outcome in zip(victims, outcomes):
+        if outcome.success:
+            request = outcome.plaintexts[0].decode(errors="replace")
+            print(f"  {domain:<22} -> {request.splitlines()[0]}")
+
+    # --- Phase 4: the full target analysis (§7.2) -------------------------
+    print("\nrunning the full target analysis (rotation, acceptance, MX)…\n")
+    report = analyze_target(ecosystem, "google.com", rotation_horizon=48 * HOUR)
+    print(render_report(report))
+    print("\ntakeaway: two 16-byte keys per 28 hours decrypt every "
+          "ticket-bearing connection to every domain sharing this STEK.")
+
+
+if __name__ == "__main__":
+    main()

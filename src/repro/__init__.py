@@ -1,0 +1,47 @@
+"""repro — a reproduction of "Measuring the Security Harm of TLS Crypto
+Shortcuts" (Springall, Durumeric, Halderman; IMC 2016).
+
+The package builds a synthetic HTTPS ecosystem, scans it with a
+from-scratch TLS 1.2 toolchain, and reproduces the paper's analyses:
+secret-state lifetimes, cross-domain sharing, vulnerability windows,
+and the nation-state retrospective-decryption threat.
+
+Layering (each layer only sees the ones below it):
+
+    crypto → tls / x509 → netsim → hosting → scanner → core → figures
+                                                     ↘ nationstate
+
+Quick start::
+
+    from repro import build_ecosystem, EcosystemConfig, run_study, StudyConfig
+    from repro import core
+
+    eco = build_ecosystem(EcosystemConfig(population=600, seed=1))
+    data = run_study(eco, StudyConfig(days=14))
+    spans = core.stek_spans(data.ticket_daily, set(data.always_present))
+    print(core.span_fractions(spans))
+"""
+
+from . import core, crypto, figures, hosting, nationstate, netsim, scanner, tls, tls13, x509
+from .hosting import EcosystemConfig, build_ecosystem
+from .scanner import StudyConfig, run_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "crypto",
+    "figures",
+    "hosting",
+    "nationstate",
+    "netsim",
+    "scanner",
+    "tls",
+    "tls13",
+    "x509",
+    "EcosystemConfig",
+    "build_ecosystem",
+    "StudyConfig",
+    "run_study",
+    "__version__",
+]

@@ -1,0 +1,243 @@
+"""Command-line interface: run the measurement system from a shell.
+
+Subcommands mirror the library's workflow:
+
+* ``scan DOMAIN``   — one zgrab-style connection against a synthetic
+  ecosystem, printing the crypto-shortcut signals.
+* ``study``         — run the longitudinal study and save the dataset
+  (JSONL) to a directory.
+* ``report DIR``    — regenerate the paper's tables from a saved
+  dataset.
+* ``audit DIR``     — vulnerability windows + §8.2 mitigation
+  counterfactuals from a saved dataset.
+* ``target DOMAIN`` — the §7.2 nation-state target analysis.
+
+Every command takes ``--population`` and ``--seed`` so results are
+reproducible; ecosystems are rebuilt deterministically rather than
+persisted.
+
+Example::
+
+    python -m repro study --days 14 --population 500 --out run1/
+    python -m repro report run1/
+    python -m repro audit run1/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from . import core
+from .crypto.rng import DeterministicRandom
+from .hosting import EcosystemConfig, build_ecosystem
+from .netsim.clock import HOUR
+from .scanner import StudyConfig, ZGrabber, load_dataset, run_study, save_dataset
+
+
+def _add_ecosystem_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--population", type=int, default=450,
+                        help="ranked-list size (default 450)")
+    parser.add_argument("--seed", type=int, default=2016,
+                        help="deterministic ecosystem seed (default 2016)")
+
+
+def _build(args) -> "object":
+    return build_ecosystem(
+        EcosystemConfig(population=args.population, seed=args.seed)
+    )
+
+
+def cmd_scan(args) -> int:
+    ecosystem = _build(args)
+    grabber = ZGrabber(ecosystem, DeterministicRandom(args.seed + 1))
+    observation = grabber.grab(args.domain)
+    print(f"domain:          {observation.domain}")
+    print(f"success:         {observation.success}")
+    if not observation.success:
+        print(f"error:           {observation.error}")
+        return 1
+    print(f"ip:              {observation.ip}")
+    print(f"cipher:          {observation.cipher}")
+    print(f"forward secret:  {observation.forward_secret}")
+    print(f"cert trusted:    {observation.cert_trusted}")
+    print(f"session id set:  {observation.session_id_set}")
+    print(f"ticket issued:   {observation.ticket_issued}")
+    if observation.ticket_issued:
+        print(f"ticket hint:     {observation.ticket_hint}s")
+        print(f"ticket format:   {observation.ticket_format}")
+        print(f"STEK id:         {observation.stek_id}")
+    if observation.kex_public:
+        print(f"kex value:       {observation.kex_public[:32]}…")
+    return 0
+
+
+def cmd_study(args) -> int:
+    ecosystem = _build(args)
+    scale = args.days / 63
+    config = StudyConfig(
+        days=args.days,
+        probe_domain_count=args.population,
+        dhe_support_day=max(1, int(43 * scale)),
+        ecdhe_support_day=max(2, int(44 * scale)),
+        ticket_support_day=max(3, int(46 * scale)),
+        crossdomain_day=max(4, int(50 * scale)),
+        session_probe_day=max(5, int(56 * scale)),
+        ticket_probe_day=max(6, int(58 * scale)),
+    )
+    def progress(day: int, days: int) -> None:
+        print(f"\rscanning day {day + 1}/{days}", end="", flush=True, file=sys.stderr)
+    dataset = run_study(ecosystem, config, progress=progress)
+    print(file=sys.stderr)
+    save_dataset(dataset, args.out)
+    print(f"dataset saved to {args.out} "
+          f"({len(dataset.ticket_daily):,} daily ticket observations)")
+    return 0
+
+
+def _load(directory: str):
+    return load_dataset(directory)
+
+
+def cmd_report(args) -> int:
+    dataset = _load(args.dataset)
+    always = set(dataset.always_present)
+
+    sections = []
+    if dataset.ticket_support:
+        trusted = {
+            o.domain for o in dataset.ticket_support
+            if o.success and o.cert_trusted
+        }
+        if dataset.dhe_support:
+            sections.append(core.support_waterfall(
+                dataset.dhe_support, "dhe", *dataset.list_sizes["dhe"],
+                trusted_domains=trusted))
+        if dataset.ecdhe_support:
+            sections.append(core.support_waterfall(
+                dataset.ecdhe_support, "ecdhe", *dataset.list_sizes["ecdhe"],
+                trusted_domains=trusted))
+        sections.append(core.support_waterfall(
+            dataset.ticket_support, "ticket", *dataset.list_sizes["ticket"]))
+        print(core.render_waterfalls(sections))
+
+    spans = core.stek_spans(dataset.ticket_daily, always)
+    print(core.render_top_reuse(
+        core.top_reuse_rows(spans, dataset.ranks, min_days=args.min_days),
+        f"Top domains with prolonged STEK reuse (>= {args.min_days} days)"))
+    print()
+    dhe = core.kex_spans(dataset.dhe_daily, always, kind="dhe")
+    print(core.render_top_reuse(
+        core.top_reuse_rows(dhe, dataset.ranks, min_days=args.min_days),
+        f"Top domains with prolonged DHE reuse (>= {args.min_days} days)"))
+    print()
+    ecdhe = core.kex_spans(dataset.ecdhe_daily, always, kind="ecdhe")
+    print(core.render_top_reuse(
+        core.top_reuse_rows(ecdhe, dataset.ranks, min_days=args.min_days),
+        f"Top domains with prolonged ECDHE reuse (>= {args.min_days} days)"))
+
+    if dataset.cache_edges or dataset.crossdomain_targets:
+        print()
+        cache_groups = core.groups_from_edges(
+            dataset.cache_edges, dataset.crossdomain_targets,
+            dataset.domain_asn, dataset.as_names)
+        print(core.render_largest_groups(
+            cache_groups, "Largest session cache service groups"))
+    if dataset.ticket_support:
+        print()
+        stek_groups = core.groups_from_shared_identifiers(
+            [dataset.ticket_support, dataset.ticket_30min], "stek",
+            dataset.domain_asn, dataset.as_names)
+        print(core.render_largest_groups(
+            stek_groups, "Largest STEK service groups"))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from .core.mitigations import evaluate_mitigations, render_mitigation_report
+
+    dataset = _load(args.dataset)
+    always = set(dataset.always_present)
+    windows = core.combine_windows(
+        stek_spans_by_domain=core.stek_spans(dataset.ticket_daily, always),
+        session_lifetimes=core.session_lifetime_by_domain(dataset.session_probes),
+        dhe_spans_by_domain=core.kex_spans(dataset.dhe_daily, always, kind="dhe"),
+        ecdhe_spans_by_domain=core.kex_spans(dataset.ecdhe_daily, always, kind="ecdhe"),
+    )
+    summary = core.summarize_exposure(windows)
+    print(core.render_exposure_summary(summary))
+    print()
+    estimates = core.estimate_rotation(dataset.ticket_daily, always)
+    print("inferred STEK rotation policies:",
+          core.rotation_policy_histogram(estimates))
+    print()
+    print(render_mitigation_report(evaluate_mitigations(windows)))
+    if args.worst:
+        print()
+        print(f"{'rank':>6}  {'domain':<34} {'window':>8}  mechanism")
+        worst = sorted(windows.values(), key=lambda w: -w.combined)[: args.worst]
+        for window in worst:
+            rank = dataset.ranks.get(window.domain, 0)
+            print(f"{rank:>6}  {window.domain:<34} "
+                  f"{core.describe_window(window.combined):>8}  "
+                  f"{window.dominant_mechanism}")
+    return 0
+
+
+def cmd_target(args) -> int:
+    from .nationstate import analyze_target, render_report
+
+    ecosystem = _build(args)
+    report = analyze_target(
+        ecosystem, args.domain, rotation_horizon=args.horizon_hours * HOUR
+    )
+    print(render_report(report))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TLS crypto-shortcut measurement toolchain (IMC 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="one zgrab-style TLS connection")
+    scan.add_argument("domain")
+    _add_ecosystem_arguments(scan)
+    scan.set_defaults(func=cmd_scan)
+
+    study = sub.add_parser("study", help="run the longitudinal study")
+    study.add_argument("--days", type=int, default=14)
+    study.add_argument("--out", required=True, help="dataset output directory")
+    _add_ecosystem_arguments(study)
+    study.set_defaults(func=cmd_study)
+
+    report = sub.add_parser("report", help="render tables from a dataset")
+    report.add_argument("dataset", help="directory written by `repro study`")
+    report.add_argument("--min-days", type=int, default=7)
+    report.set_defaults(func=cmd_report)
+
+    audit = sub.add_parser("audit", help="vulnerability windows + mitigations")
+    audit.add_argument("dataset")
+    audit.add_argument("--worst", type=int, default=0,
+                       help="also list the N most exposed domains")
+    audit.set_defaults(func=cmd_audit)
+
+    target = sub.add_parser("target", help="§7.2 nation-state target analysis")
+    target.add_argument("domain", nargs="?", default="google.com")
+    target.add_argument("--horizon-hours", type=float, default=48.0)
+    _add_ecosystem_arguments(target)
+    target.set_defaults(func=cmd_target)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Empirical distribution utilities for the measurement analyses.
+
+Every figure in the paper is a CDF (or a set of CDFs); :class:`CDF`
+wraps a sample with the exact queries those figures need: "what
+fraction of domains honored resumption for at most one hour", medians
+for the treemap coloring, and plot-ready step points.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Sequence
+
+
+class CDF:
+    """An empirical cumulative distribution over a numeric sample."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = sorted(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    def fraction_at_most(self, x: float) -> float:
+        """P(V <= x); 0.0 for an empty sample."""
+        if not self._values:
+            return 0.0
+        return bisect.bisect_right(self._values, x) / len(self._values)
+
+    def fraction_less(self, x: float) -> float:
+        """P(V < x)."""
+        if not self._values:
+            return 0.0
+        return bisect.bisect_left(self._values, x) / len(self._values)
+
+    def fraction_at_least(self, x: float) -> float:
+        """P(V >= x)."""
+        return 1.0 - self.fraction_less(x)
+
+    def fraction_greater(self, x: float) -> float:
+        """P(V > x)."""
+        return 1.0 - self.fraction_at_most(x)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (nearest-rank); requires a non-empty sample."""
+        if not self._values:
+            raise ValueError("quantile of an empty sample")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if q == 0.0:
+            return self._values[0]
+        rank = max(1, math.ceil(q * len(self._values)))
+        return self._values[rank - 1]
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def step_points(self) -> list[tuple[float, float]]:
+        """(x, P(V <= x)) at each distinct sample value, for plotting."""
+        points = []
+        n = len(self._values)
+        previous = None
+        for index, value in enumerate(self._values, start=1):
+            if value != previous:
+                if points and points[-1][0] == previous:
+                    pass
+                points.append((value, index / n))
+                previous = value
+            else:
+                points[-1] = (value, index / n)
+        return points
+
+
+def survival_points(cdf: CDF) -> list[tuple[float, float]]:
+    """(x, P(V > x)) points — some paper plots read better inverted."""
+    return [(x, 1.0 - p) for x, p in cdf.step_points()]
+
+
+__all__ = ["CDF", "survival_points"]

@@ -1,0 +1,194 @@
+"""Service-group construction (paper §5).
+
+Domains that share TLS secret state — a session cache, a STEK, or a
+Diffie-Hellman value — form *service groups*.  Groups grow
+transitively (if ``a`` shares with ``b`` and ``b`` with ``c``, all
+three are one group), which the paper implements and we reproduce with
+a union-find structure.
+
+Three builders mirror the paper's three experiments:
+
+* :func:`groups_from_edges` — session caches, from cross-domain
+  resumption probe edges (§5.1);
+* :func:`groups_from_shared_identifiers` — STEKs, from ticket key
+  names observed in the 10-connection + 30-minute scans (§5.2), and
+  Diffie-Hellman values from the key-exchange scans (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..scanner.records import CrossDomainEdge, ScanObservation
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable items (path compression)."""
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+        self._rank: dict = {}
+
+    def add(self, item) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item):
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+
+    def groups(self) -> list[set]:
+        """All disjoint sets, largest first."""
+        by_root: dict = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return sorted(by_root.values(), key=len, reverse=True)
+
+
+@dataclass
+class ServiceGroup:
+    """One set of domains sharing TLS secret state."""
+
+    domains: frozenset[str]
+    label: str = ""           # operator guess (largest AS among members)
+    mechanism: str = ""       # "session_cache" | "stek" | "dh"
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+
+@dataclass
+class GroupingResult:
+    """All service groups for one mechanism, plus summary statistics."""
+
+    groups: list[ServiceGroup] = field(default_factory=list)
+    mechanism: str = ""
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    @property
+    def singleton_count(self) -> int:
+        return sum(1 for g in self.groups if len(g) == 1)
+
+    @property
+    def multi_domain_count(self) -> int:
+        return self.group_count - self.singleton_count
+
+    def largest(self, n: int = 10) -> list[ServiceGroup]:
+        return self.groups[:n]
+
+    def domains_in_shared_groups(self) -> int:
+        """How many domains share state with at least one other domain."""
+        return sum(len(g) for g in self.groups if len(g) > 1)
+
+
+def _label_groups(
+    raw_groups: list[set],
+    mechanism: str,
+    domain_asn: Optional[dict[str, int]] = None,
+    as_names: Optional[dict[int, str]] = None,
+) -> GroupingResult:
+    result = GroupingResult(mechanism=mechanism)
+    for members in raw_groups:
+        label = ""
+        if domain_asn:
+            tally: dict[int, int] = {}
+            for domain in members:
+                asn = domain_asn.get(domain)
+                if asn is not None:
+                    tally[asn] = tally.get(asn, 0) + 1
+            if tally:
+                top_asn = max(tally, key=lambda a: (tally[a], -a))
+                label = (as_names or {}).get(top_asn, f"AS{top_asn}")
+        result.groups.append(
+            ServiceGroup(domains=frozenset(members), label=label, mechanism=mechanism)
+        )
+    result.groups.sort(key=lambda g: (-len(g), sorted(g.domains)[0]))
+    return result
+
+
+def groups_from_edges(
+    edges: Iterable[CrossDomainEdge],
+    probed_domains: Iterable[str],
+    domain_asn: Optional[dict[str, int]] = None,
+    as_names: Optional[dict[int, str]] = None,
+) -> GroupingResult:
+    """Session-cache groups from cross-domain resumption edges (§5.1).
+
+    Every probed domain becomes at least a singleton group, matching
+    the paper's accounting (183,261 of 212,491 groups were singletons).
+    """
+    uf = UnionFind()
+    for domain in probed_domains:
+        uf.add(domain)
+    for edge in edges:
+        uf.union(edge.origin, edge.acceptor)
+    return _label_groups(uf.groups(), "session_cache", domain_asn, as_names)
+
+
+def groups_from_shared_identifiers(
+    observation_sets: Iterable[Iterable[ScanObservation]],
+    identifier: str = "stek",
+    domain_asn: Optional[dict[str, int]] = None,
+    as_names: Optional[dict[int, str]] = None,
+) -> GroupingResult:
+    """STEK or DH service groups: domains that ever presented the same
+    identifier are one group (§5.2/§5.3).
+
+    ``observation_sets`` joins multiple scans (the paper merges a
+    10-connection six-hour scan with a 30-minute scan).
+    """
+    if identifier == "stek":
+        def extract(o: ScanObservation):
+            return o.stek_id if o.ticket_issued else None
+        mechanism = "stek"
+    elif identifier == "dh":
+        def extract(o: ScanObservation):
+            return o.kex_public
+        mechanism = "dh"
+    else:
+        raise ValueError(f"unknown identifier kind {identifier!r}")
+
+    uf = UnionFind()
+    owner: dict[str, str] = {}  # identifier -> first domain seen with it
+    for observations in observation_sets:
+        for observation in observations:
+            if not observation.success:
+                continue
+            value = extract(observation)
+            if not value:
+                continue
+            uf.add(observation.domain)
+            if value in owner:
+                uf.union(owner[value], observation.domain)
+            else:
+                owner[value] = observation.domain
+    return _label_groups(uf.groups(), mechanism, domain_asn, as_names)
+
+
+__all__ = [
+    "UnionFind",
+    "ServiceGroup",
+    "GroupingResult",
+    "groups_from_edges",
+    "groups_from_shared_identifiers",
+]

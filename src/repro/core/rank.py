@@ -1,0 +1,94 @@
+"""Alexa-rank tiering (paper Figure 4).
+
+The paper buckets domains into nested popularity tiers — Top 100, Top
+1K, Top 10K, Top 100K, Top 1M — and plots STEK lifetime per tier.
+Scaled-down populations use proportionally scaled tier boundaries so
+the figure keeps its shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .cdf import CDF
+from .spans import DomainSpans
+
+FULL_SCALE_TIERS = (100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+@dataclass(frozen=True)
+class RankTier:
+    """One nested popularity tier."""
+
+    label: str
+    max_rank: int
+
+
+def tiers_for_population(
+    population: int, full_scale: int = 1_000_000
+) -> tuple[RankTier, ...]:
+    """Scale the paper's tier boundaries to a smaller population.
+
+    Tiers keep their full-scale labels ("Top 1K" means the same
+    *fraction* of the list) so reports read like the paper's.
+    """
+    tiers = []
+    for boundary in FULL_SCALE_TIERS:
+        if boundary >= full_scale:
+            # The outermost tier covers the whole list, including pinned
+            # notable domains whose paper rank exceeds the population.
+            max_rank = 1 << 30
+        else:
+            scaled = max(1, round(boundary * population / full_scale))
+            max_rank = min(scaled, population)
+        tiers.append(RankTier(label=f"Top {_format_count(boundary)}", max_rank=max_rank))
+    return tuple(tiers)
+
+
+def _format_count(count: int) -> str:
+    if count >= 1_000_000:
+        return f"{count // 1_000_000}M"
+    if count >= 1_000:
+        return f"{count // 1_000}K"
+    return str(count)
+
+
+def spans_by_tier(
+    spans: Mapping[str, DomainSpans],
+    ranks: Mapping[str, int],
+    tiers: tuple[RankTier, ...],
+) -> dict[str, CDF]:
+    """Per-tier CDFs of max STEK span (tiers are nested, like Fig. 4)."""
+    result: dict[str, CDF] = {}
+    for tier in tiers:
+        values = [
+            entry.max_span_days
+            for domain, entry in spans.items()
+            if ranks.get(domain, 1 << 30) <= tier.max_rank
+        ]
+        result[tier.label] = CDF(values)
+    return result
+
+
+def tier_counts(
+    spans: Mapping[str, DomainSpans],
+    ranks: Mapping[str, int],
+    tiers: tuple[RankTier, ...],
+) -> dict[str, int]:
+    """How many measured domains fall in each (nested) tier."""
+    return {
+        tier.label: sum(
+            1 for domain in spans if ranks.get(domain, 1 << 30) <= tier.max_rank
+        )
+        for tier in tiers
+    }
+
+
+__all__ = [
+    "RankTier",
+    "FULL_SCALE_TIERS",
+    "tiers_for_population",
+    "spans_by_tier",
+    "tier_counts",
+]

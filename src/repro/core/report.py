@@ -1,0 +1,149 @@
+"""Report rendering: the paper's tables as text and structured rows.
+
+Each ``table_*`` function consumes analysis outputs (never raw ground
+truth) and returns both structured rows and a formatted text block
+shaped like the corresponding table in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..netsim.clock import format_duration
+from .groups import GroupingResult
+from .spans import DomainSpans
+from .support import SupportWaterfall
+
+
+@dataclass
+class TopReuseRow:
+    """One row of Tables 2-4: a popular domain with a long-lived secret."""
+
+    rank: int
+    domain: str
+    days: int
+
+
+def render_waterfalls(sections: list[SupportWaterfall]) -> str:
+    """Table 1: support for forward secrecy and resumption."""
+    lines = ["Table 1: Support for Forward Secrecy and Resumption", ""]
+    titles = {"dhe": "DHE", "ecdhe": "ECDHE", "ticket": "Session Tickets"}
+    for section in sections:
+        lines.append(f"[{titles.get(section.label, section.label)}]")
+        for label, count in section.rows():
+            lines.append(f"  {label:<34} {count:>10,}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def top_reuse_rows(
+    spans: Mapping[str, DomainSpans],
+    ranks: Mapping[str, int],
+    min_days: int = 7,
+    top_n: int = 10,
+) -> list[TopReuseRow]:
+    """Most popular domains (by rank) reusing a secret for at least
+    ``min_days``, counting days *inclusively* like the paper's tables
+    (first-to-last day of a 63-day study reads "63")."""
+    rows = [
+        TopReuseRow(rank=ranks.get(domain, 1 << 30), domain=domain,
+                    days=entry.max_days_inclusive)
+        for domain, entry in spans.items()
+        if entry.max_days_inclusive >= min_days
+    ]
+    rows.sort(key=lambda row: row.rank)
+    return rows[:top_n]
+
+
+def render_top_reuse(rows: list[TopReuseRow], title: str) -> str:
+    """Tables 2-4 rendering."""
+    lines = [title, "", f"{'Rank':>6}  {'Domain':<28} {'# Days':>6}"]
+    for row in rows:
+        lines.append(f"{row.rank:>6}  {row.domain:<28} {row.days:>6}")
+    return "\n".join(lines)
+
+
+def largest_group_rows(
+    grouping: GroupingResult, top_n: int = 10
+) -> list[tuple[str, int]]:
+    """(operator label, member count) for the largest service groups.
+
+    When one operator owns several of the top groups, rows are numbered
+    "CloudFlare #1", "CloudFlare #2" like the paper's tables.
+    """
+    top = grouping.largest(top_n)
+    bases = [group.label or "(unlabeled)" for group in top]
+    totals = {base: bases.count(base) for base in bases}
+    counters: dict[str, int] = {}
+    rows = []
+    for group, base in zip(top, bases):
+        if totals[base] > 1:
+            counters[base] = counters.get(base, 0) + 1
+            label = f"{base} #{counters[base]}"
+        else:
+            label = base
+        rows.append((label, len(group)))
+    return rows
+
+
+def render_largest_groups(grouping: GroupingResult, title: str, top_n: int = 10) -> str:
+    """Tables 5-7 rendering."""
+    lines = [title, "", f"{'Operator':<28} {'# domains':>10}"]
+    for label, count in largest_group_rows(grouping, top_n):
+        lines.append(f"{label:<28} {count:>10,}")
+    lines.append("")
+    lines.append(
+        f"groups={grouping.group_count:,}  "
+        f"singletons={grouping.singleton_count:,} "
+        f"({grouping.singleton_count / max(grouping.group_count, 1):.0%})"
+    )
+    return "\n".join(lines)
+
+
+def render_exposure_summary(summary, title: str = "Overall vulnerability windows") -> str:
+    """§6.4 headline: domains exposed beyond 24 h / 7 d / 30 d."""
+    lines = [
+        title,
+        "",
+        f"domains considered:        {summary.domains:>8,}",
+        f"window > 24 hours:         {summary.over_24_hours:>8,} "
+        f"({summary.fraction_over_24_hours:.0%})",
+        f"window > 7 days:           {summary.over_7_days:>8,} "
+        f"({summary.fraction_over_7_days:.0%})",
+        f"window > 30 days:          {summary.over_30_days:>8,} "
+        f"({summary.fraction_over_30_days:.0%})",
+    ]
+    return "\n".join(lines)
+
+
+def render_lifetime_buckets(buckets, mechanism: str) -> str:
+    """Figures 1/2 headline fractions."""
+    return "\n".join([
+        f"{mechanism} resumption lifetimes "
+        f"({buckets.resuming_domains:,} resuming domains)",
+        f"  honored < 5 minutes:  {buckets.under_5_minutes:.0%}",
+        f"  honored <= 1 hour:    {buckets.at_most_1_hour:.0%}",
+        f"  honored <= 10 hours:  {buckets.at_most_10_hours:.0%}",
+        f"  honored >= 24 hours:  {buckets.at_least_24_hours:.1%}",
+    ])
+
+
+def describe_window(seconds: float) -> str:
+    """Readable form of a vulnerability window."""
+    if seconds <= 0:
+        return "none observed"
+    return format_duration(seconds)
+
+
+__all__ = [
+    "TopReuseRow",
+    "render_waterfalls",
+    "top_reuse_rows",
+    "render_top_reuse",
+    "largest_group_rows",
+    "render_largest_groups",
+    "render_exposure_summary",
+    "render_lifetime_buckets",
+    "describe_window",
+]

@@ -1,0 +1,131 @@
+"""Offline rotation-interval estimation from longitudinal scans.
+
+§7.2 measures Google's 14-hour STEK rotation with dedicated hourly
+probes.  At population scale only daily observations exist, but the
+same inference works offline: the sequence of identifier *changes* in
+a domain's daily scans bounds its rotation interval, and the span
+distribution classifies its policy.
+
+These estimators feed operator-facing reporting ("this domain appears
+to rotate roughly weekly") and the `repro` CLI's audit output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from ..netsim.clock import DAY
+from .spans import DomainSpans
+from ..scanner.records import ScanObservation
+
+
+@dataclass(frozen=True)
+class RotationEstimate:
+    """One domain's inferred key-rotation behavior."""
+
+    domain: str
+    observed_keys: int
+    observation_days: int
+    estimated_interval_days: Optional[float]  # None = no rotation observed
+    policy: str  # "sub-daily" | "daily" | "multi-day" | "static"
+
+    @property
+    def rotates(self) -> bool:
+        return self.estimated_interval_days is not None
+
+
+def estimate_rotation(
+    observations: Iterable[ScanObservation],
+    domains: Optional[set] = None,
+) -> dict[str, RotationEstimate]:
+    """Estimate each domain's STEK rotation from daily ticket scans.
+
+    With one sample per day the estimate is day-granular: a domain
+    showing a fresh identifier every day rotates at least daily
+    ("sub-daily" is indistinguishable from "daily" here — the paper's
+    hourly probes exist precisely to split that case); a domain showing
+    one identifier throughout is "static".
+    """
+    per_domain: dict[str, dict[int, str]] = {}
+    for observation in observations:
+        if not observation.success or not observation.stek_id:
+            continue
+        if domains is not None and observation.domain not in domains:
+            continue
+        per_domain.setdefault(observation.domain, {})[observation.day] = (
+            observation.stek_id
+        )
+    estimates: dict[str, RotationEstimate] = {}
+    for domain, by_day in per_domain.items():
+        days = sorted(by_day)
+        keys = [by_day[d] for d in days]
+        distinct = len(set(keys))
+        if distinct == 1:
+            estimates[domain] = RotationEstimate(
+                domain=domain,
+                observed_keys=1,
+                observation_days=len(days),
+                estimated_interval_days=None,
+                policy="static",
+            )
+            continue
+        change_days = [
+            days[i] for i in range(1, len(days)) if keys[i] != keys[i - 1]
+        ]
+        if len(change_days) >= 2:
+            gaps = sorted(
+                b - a for a, b in zip(change_days, change_days[1:])
+            )
+            interval = float(gaps[len(gaps) // 2])
+        else:
+            # One observed change: the interval is at least the longer
+            # stable stretch around it.
+            interval = float(max(change_days[0] - days[0],
+                                 days[-1] - change_days[0]))
+        interval = max(interval, 1.0)
+        if interval <= 1.0:
+            policy = "daily"
+        elif interval <= 2.0:
+            policy = "daily"
+        else:
+            policy = "multi-day"
+        estimates[domain] = RotationEstimate(
+            domain=domain,
+            observed_keys=distinct,
+            observation_days=len(days),
+            estimated_interval_days=interval,
+            policy=policy,
+        )
+    return estimates
+
+
+def rotation_policy_histogram(
+    estimates: Mapping[str, RotationEstimate]
+) -> dict[str, int]:
+    """Domains per inferred rotation policy class."""
+    histogram: dict[str, int] = {}
+    for estimate in estimates.values():
+        histogram[estimate.policy] = histogram.get(estimate.policy, 0) + 1
+    return histogram
+
+
+def consistent_with_spans(
+    estimates: Mapping[str, RotationEstimate],
+    spans: Mapping[str, DomainSpans],
+) -> bool:
+    """Cross-check: a domain's max span can't exceed what its estimated
+    rotation interval allows (static domains excepted)."""
+    for domain, estimate in estimates.items():
+        if estimate.estimated_interval_days is None:
+            continue
+        entry = spans.get(domain)
+        if entry is None:
+            continue
+        if entry.max_span_days > estimate.estimated_interval_days + 1:
+            return False
+    return True
+
+
+__all__ = ["RotationEstimate", "estimate_rotation", "rotation_policy_histogram",
+           "consistent_with_spans"]

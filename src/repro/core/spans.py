@@ -1,0 +1,224 @@
+"""Secret-lifetime span estimation from daily scans (paper §4.3, §4.4).
+
+The central estimator: for each ``(domain, identifier)`` pair — where
+the identifier is a STEK key name or an (EC)DHE public value — the
+lifetime *span* is the gap between the first and last study day it was
+observed.  The paper argues first/last-seen is the right estimator
+because Internet scanning jitters (A-record rotation, load balancers
+without affinity, missed connections) interleave other identifiers
+between sightings of a long-lived one; colliding or flip-flopping
+identifiers are overwhelmingly unlikely, so intermediate noise should
+not split a span.
+
+The consecutive-days estimator the paper rejects is implemented too,
+for the ablation benchmark that quantifies exactly how much it
+undercounts under jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .cdf import CDF
+from ..scanner.records import ScanObservation
+
+
+@dataclass
+class IdentifierSpan:
+    """One identifier's observed lifetime at one domain."""
+
+    domain: str
+    identifier: str
+    first_day: int
+    last_day: int
+    observations: int
+
+    @property
+    def span_days(self) -> int:
+        """First-seen to last-seen gap, in days (0 = seen on one day)."""
+        return self.last_day - self.first_day
+
+    @property
+    def days_inclusive(self) -> int:
+        """Inclusive day count, the paper's table convention: a key seen
+        on the first and last day of a 63-day study shows "63 days"."""
+        return self.span_days + 1
+
+
+@dataclass
+class DomainSpans:
+    """All identifier spans for one domain."""
+
+    domain: str
+    spans: list[IdentifierSpan] = field(default_factory=list)
+
+    @property
+    def max_span_days(self) -> int:
+        return max((span.span_days for span in self.spans), default=0)
+
+    @property
+    def max_days_inclusive(self) -> int:
+        return max((span.days_inclusive for span in self.spans), default=0)
+
+    @property
+    def ever_observed(self) -> bool:
+        return bool(self.spans)
+
+
+def _extract_stek(observation: ScanObservation) -> Optional[str]:
+    return observation.stek_id if observation.ticket_issued else None
+
+
+def _extract_kex(observation: ScanObservation) -> Optional[str]:
+    return observation.kex_public
+
+
+def collect_spans(
+    observations: Iterable[ScanObservation],
+    identifier_fn: Callable[[ScanObservation], Optional[str]],
+    domains: Optional[set[str]] = None,
+) -> dict[str, DomainSpans]:
+    """First/last-seen spans per (domain, identifier).
+
+    ``domains`` restricts the analysis (the paper restricts to domains
+    present in the Top Million every day of the study).
+    """
+    firsts: dict[tuple[str, str], int] = {}
+    lasts: dict[tuple[str, str], int] = {}
+    counts: dict[tuple[str, str], int] = {}
+    for observation in observations:
+        if not observation.success:
+            continue
+        if domains is not None and observation.domain not in domains:
+            continue
+        identifier = identifier_fn(observation)
+        if not identifier:
+            continue
+        key = (observation.domain, identifier)
+        if key not in firsts:
+            firsts[key] = observation.day
+        lasts[key] = max(lasts.get(key, observation.day), observation.day)
+        counts[key] = counts.get(key, 0) + 1
+    result: dict[str, DomainSpans] = {}
+    for (domain, identifier), first_day in firsts.items():
+        entry = result.setdefault(domain, DomainSpans(domain=domain))
+        entry.spans.append(
+            IdentifierSpan(
+                domain=domain,
+                identifier=identifier,
+                first_day=first_day,
+                last_day=lasts[(domain, identifier)],
+                observations=counts[(domain, identifier)],
+            )
+        )
+    return result
+
+
+def stek_spans(
+    observations: Iterable[ScanObservation],
+    domains: Optional[set[str]] = None,
+) -> dict[str, DomainSpans]:
+    """STEK-identifier spans from the daily ticket scans (Fig. 3)."""
+    return collect_spans(observations, _extract_stek, domains)
+
+
+def kex_spans(
+    observations: Iterable[ScanObservation],
+    domains: Optional[set[str]] = None,
+    kind: Optional[str] = None,
+) -> dict[str, DomainSpans]:
+    """(EC)DHE-value spans from the daily key-exchange scans (Fig. 5)."""
+    if kind is not None:
+        observations = [o for o in observations if o.kex_kind == kind]
+    return collect_spans(observations, _extract_kex, domains)
+
+
+def consecutive_spans(
+    observations: Iterable[ScanObservation],
+    identifier_fn: Callable[[ScanObservation], Optional[str]] = _extract_stek,
+    domains: Optional[set[str]] = None,
+) -> dict[str, DomainSpans]:
+    """The jitter-fragile estimator: count only *consecutive* scan days.
+
+    A single missed day or load-balancer flip splits one long span into
+    several short ones.  Kept for the span-estimator ablation.
+    """
+    per_key_days: dict[tuple[str, str], set[int]] = {}
+    for observation in observations:
+        if not observation.success:
+            continue
+        if domains is not None and observation.domain not in domains:
+            continue
+        identifier = identifier_fn(observation)
+        if not identifier:
+            continue
+        per_key_days.setdefault((observation.domain, identifier), set()).add(
+            observation.day
+        )
+    result: dict[str, DomainSpans] = {}
+    for (domain, identifier), days in per_key_days.items():
+        entry = result.setdefault(domain, DomainSpans(domain=domain))
+        for first, last, count in _runs(sorted(days)):
+            entry.spans.append(
+                IdentifierSpan(
+                    domain=domain,
+                    identifier=identifier,
+                    first_day=first,
+                    last_day=last,
+                    observations=count,
+                )
+            )
+    return result
+
+
+def _runs(days: list[int]) -> Iterable[tuple[int, int, int]]:
+    """Maximal runs of consecutive integers as (first, last, length)."""
+    if not days:
+        return
+    start = previous = days[0]
+    for day in days[1:]:
+        if day == previous + 1:
+            previous = day
+            continue
+        yield (start, previous, previous - start + 1)
+        start = previous = day
+    yield (start, previous, previous - start + 1)
+
+
+def max_span_cdf(spans: dict[str, DomainSpans]) -> CDF:
+    """CDF of per-domain maximum identifier spans, in days."""
+    return CDF(entry.max_span_days for entry in spans.values())
+
+
+def span_fractions(
+    spans: dict[str, DomainSpans], thresholds_days: Iterable[int] = (1, 7, 30)
+) -> dict[int, float]:
+    """Fraction of domains whose max span meets each threshold."""
+    cdf = max_span_cdf(spans)
+    return {t: cdf.fraction_at_least(t) for t in thresholds_days}
+
+
+def reuse_within_scan(observations: Iterable[ScanObservation]) -> dict[str, dict[str, int]]:
+    """Per-domain identifier repetition counts within one multi-connection
+    scan (Table 1's "≥2x same server KEX value" / "all same" rows)."""
+    per_domain: dict[str, dict[str, int]] = {}
+    for observation in observations:
+        if not observation.success or not observation.kex_public:
+            continue
+        bucket = per_domain.setdefault(observation.domain, {})
+        bucket[observation.kex_public] = bucket.get(observation.kex_public, 0) + 1
+    return per_domain
+
+
+__all__ = [
+    "IdentifierSpan",
+    "DomainSpans",
+    "collect_spans",
+    "stek_spans",
+    "kex_spans",
+    "consecutive_spans",
+    "max_span_cdf",
+    "span_fractions",
+    "reuse_within_scan",
+]

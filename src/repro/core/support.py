@@ -1,0 +1,126 @@
+"""Support-scan analysis: the counts behind Table 1.
+
+From a 10-connection scan with one cipher offer, derive the paper's
+waterfall: list size → non-blacklisted → browser-trusted TLS → supports
+the mechanism → repeated the same secret value at least twice → always
+presented the same value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..scanner.records import ScanObservation
+
+
+@dataclass
+class SupportWaterfall:
+    """One section of Table 1."""
+
+    label: str
+    list_size: int
+    non_blacklisted: int
+    browser_trusted: int
+    supporting: int          # completed the mechanism's handshake / issued
+    repeated_value: int      # ≥2 connections with the same secret value
+    always_same_value: int   # every successful connection had one value
+
+    def rows(self) -> list[tuple[str, int]]:
+        support_label = {
+            "dhe": "Support DHE ciphers",
+            "ecdhe": "Support ECDHE ciphers",
+            "ticket": "Issue session tickets",
+        }.get(self.label, "Support mechanism")
+        value_label = "STEK ID" if self.label == "ticket" else "server KEX value"
+        return [
+            ("Alexa 1M domains", self.list_size),
+            ("Non-blacklisted domains", self.non_blacklisted),
+            ("Browser-trusted TLS domains", self.browser_trusted),
+            (support_label, self.supporting),
+            (f">= 2x same {value_label}", self.repeated_value),
+            (f"All same {value_label}", self.always_same_value),
+        ]
+
+
+def _per_domain_values(
+    observations: Iterable[ScanObservation], kind: str
+) -> tuple[dict[str, list[Optional[str]]], dict[str, bool]]:
+    """Per-domain secret values from successful connections, plus trust."""
+    values: dict[str, list[Optional[str]]] = {}
+    trusted: dict[str, bool] = {}
+    for observation in observations:
+        if not observation.success:
+            continue
+        trusted[observation.domain] = (
+            trusted.get(observation.domain, False) or observation.cert_trusted
+        )
+        if kind == "ticket":
+            value = observation.stek_id if observation.ticket_issued else None
+        else:
+            value = (
+                observation.kex_public
+                if observation.kex_kind == kind
+                else None
+            )
+        values.setdefault(observation.domain, []).append(value)
+    return values, trusted
+
+
+def support_waterfall(
+    observations: Iterable[ScanObservation],
+    kind: str,
+    list_size: int,
+    non_blacklisted: int,
+    trusted_domains: Optional[set] = None,
+) -> SupportWaterfall:
+    """Compute one Table 1 section from a multi-connection scan.
+
+    ``kind`` is "dhe", "ecdhe", or "ticket".  Counts follow the paper:
+    *browser-trusted* = any successful connection with a trusted cert;
+    *supporting* = among trusted, completed the kind's key exchange (or
+    issued a ticket); the value rows count trusted supporters whose
+    secret values repeated within the scan.
+
+    A restricted-offer scan (DHE-only) cannot measure general trust —
+    non-DHE servers refuse the handshake outright — so the paper takes
+    the trusted-domain population from a full scan.  Pass that set as
+    ``trusted_domains`` for such sections.
+    """
+    if kind not in ("dhe", "ecdhe", "ticket"):
+        raise ValueError(f"unknown support kind {kind!r}")
+    values, trusted = _per_domain_values(observations, kind)
+    if trusted_domains is not None:
+        browser_trusted = list(trusted_domains)
+        trusted = {domain: True for domain in trusted_domains}
+        # Only domains this scan reached can show supporting values.
+        values = {d: v for d, v in values.items() if d in trusted_domains}
+    else:
+        browser_trusted = [d for d, ok in trusted.items() if ok]
+    supporting = []
+    repeated = []
+    always_same = []
+    for domain in browser_trusted:
+        domain_values = [v for v in values.get(domain, []) if v]
+        if not domain_values:
+            continue
+        supporting.append(domain)
+        tally: dict[str, int] = {}
+        for value in domain_values:
+            tally[value] = tally.get(value, 0) + 1
+        if max(tally.values()) >= 2:
+            repeated.append(domain)
+        if len(tally) == 1 and len(domain_values) >= 2:
+            always_same.append(domain)
+    return SupportWaterfall(
+        label=kind,
+        list_size=list_size,
+        non_blacklisted=non_blacklisted,
+        browser_trusted=len(browser_trusted),
+        supporting=len(supporting),
+        repeated_value=len(repeated),
+        always_same_value=len(always_same),
+    )
+
+
+__all__ = ["SupportWaterfall", "support_waterfall"]

@@ -1,0 +1,116 @@
+"""Attack-value ranking of shared secrets (paper §6).
+
+§6 frames the harm as the *interaction* of two factors: how long a
+secret lives (the vulnerability window) and how many domains it covers
+(the service group).  "The interaction of these two factors presents an
+enticing target for an attacker who wishes to decrypt large numbers of
+connections for a comparatively small amount of work."
+
+This module scores that interaction: for each service group, the
+*blast radius* of stealing its secret is the number of member domains
+times the window during which recorded traffic stays decryptable —
+domain-days of retrospective decryption per theft.  Ranked output is
+what an intelligence agency's targeting cell (or a defender running a
+risk review) would look at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..netsim.clock import DAY, format_duration
+from .groups import GroupingResult
+from .spans import DomainSpans
+
+
+@dataclass(frozen=True)
+class TargetValue:
+    """One service group's worth to an attacker."""
+
+    label: str
+    mechanism: str
+    member_domains: int
+    median_window_seconds: float
+    blast_radius_domain_days: float  # members × window, in domain-days
+
+    def describe(self) -> str:
+        return (
+            f"{self.label or '(unlabeled)':<24} {self.mechanism:<13} "
+            f"{self.member_domains:>8,} domains x "
+            f"{format_duration(self.median_window_seconds):>7} = "
+            f"{self.blast_radius_domain_days:>10,.1f} domain-days"
+        )
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2] if ordered else 0.0
+
+
+def rank_targets(
+    grouping: GroupingResult,
+    window_seconds_by_domain: Mapping[str, float],
+    min_members: int = 1,
+    top_n: Optional[int] = None,
+) -> list[TargetValue]:
+    """Score and rank service groups by blast radius.
+
+    ``window_seconds_by_domain`` is the per-domain window for the
+    grouping's mechanism — e.g. STEK span seconds for a STEK grouping,
+    honored cache lifetime for a session-cache grouping.
+    """
+    scored: list[TargetValue] = []
+    for group in grouping.groups:
+        if len(group) < min_members:
+            continue
+        windows = [
+            window_seconds_by_domain[d]
+            for d in group.domains
+            if d in window_seconds_by_domain
+        ]
+        if not windows:
+            continue
+        median = _median(windows)
+        scored.append(
+            TargetValue(
+                label=group.label,
+                mechanism=grouping.mechanism,
+                member_domains=len(group),
+                median_window_seconds=median,
+                blast_radius_domain_days=len(group) * median / DAY,
+            )
+        )
+    scored.sort(key=lambda t: (-t.blast_radius_domain_days, t.label))
+    return scored[:top_n] if top_n else scored
+
+
+def spans_to_window_seconds(spans: Mapping[str, DomainSpans]) -> dict[str, float]:
+    """Per-domain window from span measurements (max span, seconds)."""
+    return {domain: entry.max_span_days * DAY for domain, entry in spans.items()}
+
+
+def render_target_ranking(targets: Sequence[TargetValue], title: str,
+                          top_n: int = 10) -> str:
+    """The targeting cell's briefing sheet."""
+    lines = [title, ""]
+    for target in targets[:top_n]:
+        lines.append("  " + target.describe())
+    if not targets:
+        lines.append("  (no shared secrets found)")
+    else:
+        total = sum(t.blast_radius_domain_days for t in targets[:top_n])
+        lines.append("")
+        lines.append(
+            f"stealing the top {min(top_n, len(targets))} secrets buys "
+            f"{total:,.0f} domain-days of retrospective decryption"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "TargetValue",
+    "rank_targets",
+    "spans_to_window_seconds",
+    "render_target_ranking",
+]

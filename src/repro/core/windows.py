@@ -1,0 +1,162 @@
+"""Vulnerability-window computation (paper §6) — the headline analysis.
+
+A domain's *vulnerability window* for a mechanism is the span of time
+during which an attacker who compromises the server's stored secrets
+can decrypt a recorded "forward-secret" connection:
+
+* **Session tickets** — the ticket rides every connection in the
+  clear; anyone holding the STEK can open it.  The window is the
+  STEK's lifetime: its observed first/last-seen span (§6.1).
+* **Session caches** — the session keys sit in the server cache until
+  eviction.  The window is the honored resumption lifetime (§6.2).
+* **Diffie-Hellman reuse** — the server's ``a``/``d_A`` decrypts every
+  connection that used it.  The window is the value's observed span
+  (§6.3).
+
+A domain's combined exposure is the maximum across mechanisms (§6.4,
+Figure 8).  All windows are lower bounds: a server that stops
+*honoring* state may not have *erased* it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from ..netsim.clock import DAY, HOUR
+from .cdf import CDF
+from .spans import DomainSpans
+
+
+@dataclass
+class VulnerabilityWindow:
+    """One domain's per-mechanism and combined exposure, in seconds."""
+
+    domain: str
+    ticket_window: float = 0.0
+    session_cache_window: float = 0.0
+    dh_window: float = 0.0
+
+    @property
+    def combined(self) -> float:
+        """Overall exposure: the longest mechanism window (§6.4)."""
+        return max(self.ticket_window, self.session_cache_window, self.dh_window)
+
+    @property
+    def dominant_mechanism(self) -> str:
+        best = self.combined
+        if best == 0.0:
+            return "none"
+        if best == self.ticket_window:
+            return "ticket"
+        if best == self.session_cache_window:
+            return "session_cache"
+        return "dh"
+
+
+def combine_windows(
+    stek_spans_by_domain: Optional[Mapping[str, DomainSpans]] = None,
+    session_lifetimes: Optional[Mapping[str, float]] = None,
+    dhe_spans_by_domain: Optional[Mapping[str, DomainSpans]] = None,
+    ecdhe_spans_by_domain: Optional[Mapping[str, DomainSpans]] = None,
+    domains: Optional[Iterable[str]] = None,
+) -> dict[str, VulnerabilityWindow]:
+    """Merge the three mechanisms' measurements into per-domain windows.
+
+    ``domains`` fixes the universe (e.g. always-present trusted
+    domains); otherwise the union of all measured domains is used.
+    Span measurements are day-granular; a span of 0 days means the
+    secret was only seen on one day, which still implies a window of up
+    to one scan interval — we count it as 0 (a strict lower bound).
+    """
+    stek_spans_by_domain = stek_spans_by_domain or {}
+    session_lifetimes = session_lifetimes or {}
+    dhe_spans_by_domain = dhe_spans_by_domain or {}
+    ecdhe_spans_by_domain = ecdhe_spans_by_domain or {}
+    if domains is None:
+        universe = (
+            set(stek_spans_by_domain)
+            | set(session_lifetimes)
+            | set(dhe_spans_by_domain)
+            | set(ecdhe_spans_by_domain)
+        )
+    else:
+        universe = set(domains)
+    windows: dict[str, VulnerabilityWindow] = {}
+    for domain in universe:
+        window = VulnerabilityWindow(domain=domain)
+        stek = stek_spans_by_domain.get(domain)
+        if stek is not None and stek.ever_observed:
+            window.ticket_window = stek.max_span_days * DAY
+        lifetime = session_lifetimes.get(domain)
+        if lifetime:
+            window.session_cache_window = lifetime
+        dh_days = 0
+        dhe = dhe_spans_by_domain.get(domain)
+        if dhe is not None:
+            dh_days = max(dh_days, dhe.max_span_days)
+        ecdhe = ecdhe_spans_by_domain.get(domain)
+        if ecdhe is not None:
+            dh_days = max(dh_days, ecdhe.max_span_days)
+        window.dh_window = dh_days * DAY
+        windows[domain] = window
+    return windows
+
+
+@dataclass
+class ExposureSummary:
+    """The paper's §6.4 headline numbers."""
+
+    domains: int
+    over_24_hours: int
+    over_7_days: int
+    over_30_days: int
+
+    @property
+    def fraction_over_24_hours(self) -> float:
+        return self.over_24_hours / self.domains if self.domains else 0.0
+
+    @property
+    def fraction_over_7_days(self) -> float:
+        return self.over_7_days / self.domains if self.domains else 0.0
+
+    @property
+    def fraction_over_30_days(self) -> float:
+        return self.over_30_days / self.domains if self.domains else 0.0
+
+
+def summarize_exposure(windows: Mapping[str, VulnerabilityWindow]) -> ExposureSummary:
+    """Count domains whose combined window exceeds 24 h / 7 d / 30 d."""
+    values = [w.combined for w in windows.values()]
+    return ExposureSummary(
+        domains=len(values),
+        over_24_hours=sum(1 for v in values if v > 24 * HOUR),
+        over_7_days=sum(1 for v in values if v > 7 * DAY),
+        over_30_days=sum(1 for v in values if v > 30 * DAY),
+    )
+
+
+def combined_window_cdf(windows: Mapping[str, VulnerabilityWindow]) -> CDF:
+    """Figure 8: CDF of combined vulnerability windows (seconds)."""
+    return CDF(w.combined for w in windows.values())
+
+
+def per_mechanism_cdfs(
+    windows: Mapping[str, VulnerabilityWindow],
+) -> dict[str, CDF]:
+    """Per-mechanism window CDFs (for decomposition/ablation plots)."""
+    return {
+        "ticket": CDF(w.ticket_window for w in windows.values()),
+        "session_cache": CDF(w.session_cache_window for w in windows.values()),
+        "dh": CDF(w.dh_window for w in windows.values()),
+    }
+
+
+__all__ = [
+    "VulnerabilityWindow",
+    "combine_windows",
+    "ExposureSummary",
+    "summarize_exposure",
+    "combined_window_cdf",
+    "per_mechanism_cdfs",
+]

@@ -1,0 +1,38 @@
+"""Cryptographic primitives implemented from scratch for the TLS model.
+
+Submodules:
+
+* :mod:`repro.crypto.rng` — deterministic HMAC-DRBG randomness
+* :mod:`repro.crypto.aes` — AES block cipher (FIPS 197)
+* :mod:`repro.crypto.modes` — CBC/CTR modes, PKCS#7 padding
+* :mod:`repro.crypto.mac` — SHA-2/HMAC helpers
+* :mod:`repro.crypto.prf` — TLS 1.2 PRF and key derivation
+* :mod:`repro.crypto.dh` — finite-field Diffie-Hellman (DHE)
+* :mod:`repro.crypto.ec` — elliptic-curve arithmetic (ECDHE)
+* :mod:`repro.crypto.rsa` — RSA for certificate signatures
+"""
+
+from .rng import DeterministicRandom
+from .aes import AES
+from .modes import cbc_decrypt, cbc_encrypt, ctr_xor, PaddingError
+from .mac import hmac_sha256, sha256, constant_time_equal
+from .prf import derive_key_block, derive_master_secret, prf
+from . import dh, ec, rsa
+
+__all__ = [
+    "DeterministicRandom",
+    "AES",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_xor",
+    "PaddingError",
+    "hmac_sha256",
+    "sha256",
+    "constant_time_equal",
+    "prf",
+    "derive_master_secret",
+    "derive_key_block",
+    "dh",
+    "ec",
+    "rsa",
+]

@@ -1,0 +1,365 @@
+"""Elliptic-curve arithmetic for ECDHE (short Weierstrass curves).
+
+Implements the group law over curves ``y^2 = x^3 + ax + b (mod p)`` in
+Jacobian coordinates (no per-step modular inversion), with the NIST
+curves TLS servers actually negotiate: P-256 (secp256r1) and P-224.
+A small 64-bit toy curve is included for exhaustive unit testing.
+
+ECDHE in the simulated handshakes is real scalar multiplication — a
+server that reuses its ephemeral scalar ``d_A`` really does present the
+same point ``d_A·G`` on the wire, which is exactly the signal the
+scanner's reuse detector keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .rng import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Domain parameters of a short Weierstrass curve."""
+
+    name: str
+    p: int   # field prime
+    a: int   # curve coefficient a
+    b: int   # curve coefficient b
+    gx: int  # base point x
+    gy: int  # base point y
+    n: int   # base point order
+
+    @property
+    def coordinate_bytes(self) -> int:
+        """Width of one coordinate on the wire."""
+        return (self.p.bit_length() + 7) // 8
+
+
+# NIST P-256 / secp256r1 (RFC 4492 named curve 23) — the dominant
+# ECDHE curve in the paper's measurement era.
+P256 = Curve(
+    name="secp256r1",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+# NIST P-224 / secp224r1 (named curve 21).
+P224 = Curve(
+    name="secp224r1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF000000000000000000000001,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFFFFFFFFFE,
+    b=0xB4050A850C04B3ABF54132565044B0B7D7BFD8BA270B39432355FFB4,
+    gx=0xB70E0CBD6BB4BF7F321390B94A03C1D356C21122343280D6115C1D21,
+    gy=0xBD376388B5F723FB4C22DFE6CD4375A05A07476444D5819985007E34,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFF16A2E0B8F03E13DD29455C5C2A3D,
+)
+
+# SEC2 secp128r1 — a real standardized curve small enough that the
+# simulated ecosystem's millions of handshakes stay fast, while its
+# 128-bit group order keeps accidental ephemeral-value collisions
+# (which would corrupt the shared-value analysis) vanishingly unlikely.
+SECP128R1 = Curve(
+    name="secp128r1",
+    p=0xFFFFFFFDFFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFDFFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0xE87579C11079F43DD824993C2CEE5ED3,
+    gx=0x161FF7528B899B2D0C28607CA52C5B86,
+    gy=0xCF5AC8395BAFEB13C02DA292DDED7A83,
+    n=0xFFFFFFFE0000000075A30D1B9038A115,
+)
+
+# SEC2 secp160r1.
+SECP160R1 = Curve(
+    name="secp160r1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFF,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFC,
+    b=0x1C97BEFC54BD7A8B65ACF89F81D4D4ADC565FA45,
+    gx=0x4A96B5688EF573284664698968C38BB913CBFC82,
+    gy=0x23A628553168947D59DCC912042351377AC5FB32,
+    n=0x0100000000000000000001F4C8F927AED3CA752257,
+)
+
+# A tiny curve for fast exhaustive unit tests: y^2 = x^3 + x + 28 over
+# GF(10007).  The group has prime order 9851, so every non-identity
+# point generates the whole group (verified exhaustively in tests).
+TINY = Curve(
+    name="tiny-10007",
+    p=10007,
+    a=1,
+    b=28,
+    gx=2,
+    gy=4582,
+    n=9851,
+)
+
+CURVES_BY_NAME = {
+    curve.name: curve for curve in (P256, P224, SECP128R1, SECP160R1, TINY)
+}
+
+# RFC 4492 NamedCurve registry values used on the wire.
+NAMED_CURVE_IDS = {
+    "secp224r1": 21,
+    "secp256r1": 23,
+    "secp160r1": 18,
+    "secp128r1": 16,
+    "tiny-10007": 0xFE00,
+}
+NAMED_CURVE_BY_ID = {v: k for k, v in NAMED_CURVE_IDS.items()}
+
+
+class NotOnCurveError(ValueError):
+    """A peer offered a point that does not satisfy the curve equation."""
+
+
+# Shared-secret memo: (curve name, private scalar, peer point) -> point.
+_shared_secret_memo: dict = {}
+
+
+Point = Optional[Tuple[int, int]]  # None is the point at infinity
+
+
+def is_on_curve(curve: Curve, point: Point) -> bool:
+    """Check that an affine point satisfies the curve equation."""
+    if point is None:
+        return True
+    x, y = point
+    if not (0 <= x < curve.p and 0 <= y < curve.p):
+        return False
+    return (y * y - (x * x * x + curve.a * x + curve.b)) % curve.p == 0
+
+
+def _to_jacobian(point: Point) -> tuple[int, int, int]:
+    if point is None:
+        return (1, 1, 0)
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(curve: Curve, jac: tuple[int, int, int]) -> Point:
+    x, y, z = jac
+    if z == 0:
+        return None
+    z_inv = pow(z, curve.p - 2, curve.p)
+    z_inv2 = z_inv * z_inv % curve.p
+    return (x * z_inv2 % curve.p, y * z_inv2 * z_inv % curve.p)
+
+
+def _jacobian_double(curve: Curve, jac: tuple[int, int, int]) -> tuple[int, int, int]:
+    x, y, z = jac
+    if z == 0 or y == 0:
+        return (1, 1, 0)
+    p = curve.p
+    ysq = y * y % p
+    s = 4 * x * ysq % p
+    m = (3 * x * x + curve.a * pow(z, 4, p)) % p
+    nx = (m * m - 2 * s) % p
+    ny = (m * (s - nx) - 8 * ysq * ysq) % p
+    nz = 2 * y * z % p
+    return (nx, ny, nz)
+
+
+def _jacobian_add(
+    curve: Curve, a: tuple[int, int, int], b: tuple[int, int, int]
+) -> tuple[int, int, int]:
+    if a[2] == 0:
+        return b
+    if b[2] == 0:
+        return a
+    p = curve.p
+    x1, y1, z1 = a
+    x2, y2, z2 = b
+    z1sq = z1 * z1 % p
+    z2sq = z2 * z2 % p
+    u1 = x1 * z2sq % p
+    u2 = x2 * z1sq % p
+    s1 = y1 * z2sq * z2 % p
+    s2 = y2 * z1sq * z1 % p
+    if u1 == u2:
+        if s1 != s2:
+            return (1, 1, 0)
+        return _jacobian_double(curve, a)
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    h2 = h * h % p
+    h3 = h2 * h % p
+    u1h2 = u1 * h2 % p
+    nx = (r * r - h3 - 2 * u1h2) % p
+    ny = (r * (u1h2 - nx) - s1 * h3) % p
+    nz = h * z1 * z2 % p
+    return (nx, ny, nz)
+
+
+def point_add(curve: Curve, a: Point, b: Point) -> Point:
+    """Group addition of two affine points."""
+    return _from_jacobian(curve, _jacobian_add(curve, _to_jacobian(a), _to_jacobian(b)))
+
+
+def point_double(curve: Curve, a: Point) -> Point:
+    """Group doubling of an affine point."""
+    return _from_jacobian(curve, _jacobian_double(curve, _to_jacobian(a)))
+
+
+def point_neg(curve: Curve, a: Point) -> Point:
+    """Group inverse of an affine point."""
+    if a is None:
+        return None
+    return (a[0], (-a[1]) % curve.p)
+
+
+def scalar_mult(curve: Curve, k: int, point: Point) -> Point:
+    """Compute ``k · point`` by double-and-add in Jacobian coordinates."""
+    if point is not None and not is_on_curve(curve, point):
+        raise NotOnCurveError(f"point is not on {curve.name}")
+    k %= curve.n
+    if k == 0 or point is None:
+        return None
+    result = (1, 1, 0)
+    addend = _to_jacobian(point)
+    while k:
+        if k & 1:
+            result = _jacobian_add(curve, result, addend)
+        addend = _jacobian_double(curve, addend)
+        k >>= 1
+    return _from_jacobian(curve, result)
+
+
+def base_point(curve: Curve) -> Point:
+    """The curve's generator ``G``."""
+    return (curve.gx, curve.gy)
+
+
+_FIXED_BASE_WINDOW = 4
+_fixed_base_tables: dict[str, list[list[tuple[int, int, int]]]] = {}
+
+
+def _fixed_base_table(curve: Curve) -> list[list[tuple[int, int, int]]]:
+    """Precompute ``j * 16^i * G`` for windowed fixed-base multiplication.
+
+    Built lazily once per curve; turns the millions of ``d·G`` keygens a
+    full ecosystem scan performs into ~``bits/4`` point additions each.
+    """
+    table = _fixed_base_tables.get(curve.name)
+    if table is not None:
+        return table
+    windows = (curve.n.bit_length() + _FIXED_BASE_WINDOW - 1) // _FIXED_BASE_WINDOW
+    table = []
+    row_base = _to_jacobian(base_point(curve))
+    for _ in range(windows):
+        row = [(1, 1, 0)]
+        for j in range(1, 1 << _FIXED_BASE_WINDOW):
+            row.append(_jacobian_add(curve, row[j - 1], row_base))
+        table.append(row)
+        row_base = row[1]
+        for _ in range(_FIXED_BASE_WINDOW):
+            row_base = _jacobian_double(curve, row_base)
+    _fixed_base_tables[curve.name] = table
+    return table
+
+
+def scalar_mult_base(curve: Curve, k: int) -> Point:
+    """Compute ``k · G`` using the precomputed fixed-base table."""
+    k %= curve.n
+    if k == 0:
+        return None
+    table = _fixed_base_table(curve)
+    result = (1, 1, 0)
+    window = 0
+    while k:
+        digit = k & ((1 << _FIXED_BASE_WINDOW) - 1)
+        if digit:
+            result = _jacobian_add(curve, result, table[window][digit])
+        k >>= _FIXED_BASE_WINDOW
+        window += 1
+    return _from_jacobian(curve, result)
+
+
+@dataclass(frozen=True)
+class ECKeyPair:
+    """One side's ECDHE state: a scalar and the point ``d·G``."""
+
+    curve: Curve
+    private: int
+    public: Tuple[int, int]
+
+    def shared_secret(self, peer_public: Tuple[int, int]) -> Tuple[int, int]:
+        """Compute ``d · peer_public``, validating the peer point.
+
+        Results are memoized on ``(curve, d, peer)``: when either side
+        reuses its ephemeral value — the very behavior this codebase
+        studies — repeat computations collapse to a dict lookup.
+        """
+        memo_key = (self.curve.name, self.private, peer_public)
+        cached = _shared_secret_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        if not is_on_curve(self.curve, peer_public):
+            raise NotOnCurveError("peer public point not on curve")
+        result = scalar_mult(self.curve, self.private, peer_public)
+        if result is None:
+            raise NotOnCurveError("shared secret is the point at infinity")
+        if len(_shared_secret_memo) > 131072:
+            _shared_secret_memo.clear()
+        _shared_secret_memo[memo_key] = result
+        return result
+
+    def shared_secret_bytes(self, peer_public: Tuple[int, int]) -> bytes:
+        """The ECDHE premaster secret: the x-coordinate, per RFC 4492 §5.10."""
+        x, _ = self.shared_secret(peer_public)
+        return x.to_bytes(self.curve.coordinate_bytes, "big")
+
+
+def generate_keypair(curve: Curve, rng: DeterministicRandom) -> ECKeyPair:
+    """Generate a fresh scalar in ``[1, n-1]`` and its public point."""
+    private = rng.randrange(1, curve.n)
+    public = scalar_mult_base(curve, private)
+    assert public is not None
+    return ECKeyPair(curve=curve, private=private, public=public)
+
+
+def encode_point(curve: Curve, point: Tuple[int, int]) -> bytes:
+    """Uncompressed SEC1 encoding: ``0x04 || X || Y``."""
+    size = curve.coordinate_bytes
+    return b"\x04" + point[0].to_bytes(size, "big") + point[1].to_bytes(size, "big")
+
+
+def decode_point(curve: Curve, data: bytes) -> Tuple[int, int]:
+    """Parse an uncompressed SEC1 point, validating curve membership."""
+    size = curve.coordinate_bytes
+    if len(data) != 1 + 2 * size or data[0] != 0x04:
+        raise ValueError("malformed uncompressed EC point")
+    x = int.from_bytes(data[1 : 1 + size], "big")
+    y = int.from_bytes(data[1 + size :], "big")
+    if not is_on_curve(curve, (x, y)):
+        raise NotOnCurveError(f"decoded point not on {curve.name}")
+    return (x, y)
+
+
+__all__ = [
+    "Curve",
+    "ECKeyPair",
+    "NotOnCurveError",
+    "P256",
+    "P224",
+    "SECP128R1",
+    "SECP160R1",
+    "TINY",
+    "CURVES_BY_NAME",
+    "NAMED_CURVE_IDS",
+    "NAMED_CURVE_BY_ID",
+    "Point",
+    "is_on_curve",
+    "point_add",
+    "point_double",
+    "point_neg",
+    "scalar_mult",
+    "scalar_mult_base",
+    "base_point",
+    "generate_keypair",
+    "encode_point",
+    "decode_point",
+]

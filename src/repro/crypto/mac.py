@@ -1,0 +1,33 @@
+"""Hash and MAC helpers used throughout the TLS model.
+
+Thin wrappers over :mod:`hashlib`/:mod:`hmac` so the rest of the code
+has a single place naming its digests, plus constant-time comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def sha1(data: bytes) -> bytes:
+    """SHA-1 digest (used only for legacy identifiers, never security)."""
+    return hashlib.sha1(data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256 — RFC 5077's recommended ticket MAC."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe equality (mirrors what real implementations must do)."""
+    return hmac.compare_digest(a, b)
+
+
+__all__ = ["sha256", "sha1", "hmac_sha256", "constant_time_equal"]

@@ -1,0 +1,101 @@
+"""Block-cipher modes of operation and padding.
+
+RFC 5077's recommended ticket construction uses AES-CBC; this module
+provides CBC with PKCS#7 padding on top of :class:`repro.crypto.aes.AES`.
+"""
+
+from __future__ import annotations
+
+from .aes import AES, BLOCK_SIZE
+
+
+class PaddingError(ValueError):
+    """Raised when CBC ciphertext has invalid PKCS#7 padding."""
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` per PKCS#7."""
+    if not 0 < block_size < 256:
+        raise ValueError("block size must be in [1, 255]")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip PKCS#7 padding, raising :class:`PaddingError` if malformed."""
+    if not data or len(data) % block_size:
+        raise PaddingError("ciphertext length is not a multiple of the block size")
+    pad_len = data[-1]
+    if pad_len == 0 or pad_len > block_size:
+        raise PaddingError("invalid padding length byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("padding bytes are inconsistent")
+    return data[:-pad_len]
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """AES-CBC encrypt ``plaintext`` (PKCS#7 padded) under ``key``/``iv``."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be one block")
+    cipher = AES(key)
+    padded = pkcs7_pad(plaintext)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(padded), BLOCK_SIZE):
+        block = bytes(a ^ b for a, b in zip(padded[offset : offset + BLOCK_SIZE], previous))
+        encrypted = cipher.encrypt_block(block)
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """AES-CBC decrypt and unpad; raises :class:`PaddingError` on bad padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be one block")
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE:
+        raise PaddingError("ciphertext length is not a multiple of the block size")
+    cipher = AES(key)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[offset : offset + BLOCK_SIZE]
+        decrypted = cipher.decrypt_block(block)
+        out.extend(a ^ b for a, b in zip(decrypted, previous))
+        previous = block
+    return pkcs7_unpad(bytes(out))
+
+
+def ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate an AES-CTR keystream (used for record-layer encryption).
+
+    The simulated record layer uses CTR rather than the full TLS 1.2
+    GCM/CBC-MAC constructions: what the measurement study depends on is
+    that application data is unreadable without the session keys, not
+    the particular AEAD composition.
+    """
+    if len(nonce) != BLOCK_SIZE:
+        raise ValueError("nonce must be one block")
+    cipher = AES(key)
+    counter = int.from_bytes(nonce, "big")
+    out = bytearray()
+    while len(out) < length:
+        out.extend(cipher.encrypt_block(counter.to_bytes(BLOCK_SIZE, "big")))
+        counter = (counter + 1) % (1 << 128)
+    return bytes(out[:length])
+
+
+def ctr_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` with an AES-CTR keystream (symmetric)."""
+    stream = ctr_keystream(key, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+__all__ = [
+    "PaddingError",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_keystream",
+    "ctr_xor",
+]

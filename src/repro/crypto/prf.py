@@ -1,0 +1,64 @@
+"""TLS 1.2 pseudorandom function (RFC 5246 §5).
+
+The PRF expands a secret into key material using P_SHA256:
+
+    P_hash(secret, seed) = HMAC(secret, A(1) + seed) +
+                           HMAC(secret, A(2) + seed) + ...
+    A(0) = seed;  A(i) = HMAC(secret, A(i-1))
+
+Both the simulated servers and the scanner's TLS client derive master
+secrets and key blocks through this function, so a recovered
+premaster/master secret really does decrypt recorded traffic.
+"""
+
+from __future__ import annotations
+
+from .mac import hmac_sha256
+
+MASTER_SECRET_LENGTH = 48
+
+
+def p_sha256(secret: bytes, seed: bytes, length: int) -> bytes:
+    """P_SHA256 expansion from RFC 5246 §5."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    out = bytearray()
+    a = seed
+    while len(out) < length:
+        a = hmac_sha256(secret, a)
+        out.extend(hmac_sha256(secret, a + seed))
+    return bytes(out[:length])
+
+
+def prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
+    """TLS 1.2 PRF: ``P_SHA256(secret, label + seed)``."""
+    return p_sha256(secret, label + seed, length)
+
+
+def derive_master_secret(premaster: bytes, client_random: bytes, server_random: bytes) -> bytes:
+    """RFC 5246 §8.1: 48-byte master secret from the premaster secret."""
+    return prf(premaster, b"master secret", client_random + server_random, MASTER_SECRET_LENGTH)
+
+
+def derive_key_block(master: bytes, client_random: bytes, server_random: bytes, length: int) -> bytes:
+    """RFC 5246 §6.3: expand the master secret into connection keys.
+
+    Note the random order flips relative to master-secret derivation
+    (server random first), exactly as in the RFC.
+    """
+    return prf(master, b"key expansion", server_random + client_random, length)
+
+
+def verify_data(master: bytes, label: bytes, handshake_hash: bytes) -> bytes:
+    """RFC 5246 §7.4.9: 12-byte Finished verify_data."""
+    return prf(master, label, handshake_hash, 12)
+
+
+__all__ = [
+    "MASTER_SECRET_LENGTH",
+    "p_sha256",
+    "prf",
+    "derive_master_secret",
+    "derive_key_block",
+    "verify_data",
+]

@@ -1,0 +1,16 @@
+"""Figure rendering: ASCII CDF plots and service-group treemaps."""
+
+from .plots import ascii_cdf, multi_cdf_table
+from .svg import cdf_svg, treemap_svg
+from .treemap import TreemapCell, layout_treemap, render_treemap, severity_histogram
+
+__all__ = [
+    "ascii_cdf",
+    "cdf_svg",
+    "treemap_svg",
+    "multi_cdf_table",
+    "TreemapCell",
+    "layout_treemap",
+    "render_treemap",
+    "severity_histogram",
+]

@@ -1,0 +1,94 @@
+"""Text-mode figure rendering.
+
+The benchmark harness regenerates every figure as data (CDF step
+points) plus a terminal-friendly rendering.  No plotting libraries are
+required; the ASCII output is good enough to eyeball the shapes the
+paper shows — the discrete jumps at 5 minutes and 10 hours in Figure 1,
+the 18-hour CloudFlare cliff in Figure 2, the long STEK tail in
+Figure 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+from ..core.cdf import CDF
+from ..netsim.clock import format_duration
+
+
+def ascii_cdf(
+    cdf: CDF,
+    title: str,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    x_label: str = "",
+    x_formatter=format_duration,
+    min_x: Optional[float] = None,
+) -> str:
+    """Render one CDF as an ASCII plot (log-x by default, like the paper)."""
+    points = cdf.step_points()
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in points if x > 0] or [1.0]
+    lo = min_x if min_x is not None else max(min(xs), 1e-3)
+    hi = max(max(xs), lo * 10)
+
+    def x_to_col(x: float) -> int:
+        if log_x:
+            x = max(x, lo)
+            frac = (math.log10(x) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
+        else:
+            frac = (x - lo) / (hi - lo) if hi > lo else 0.0
+        return min(width - 1, max(0, int(frac * (width - 1))))
+
+    # Build the fraction reached at each column.
+    column_fraction = [0.0] * width
+    for x, p in points:
+        column_fraction[x_to_col(x)] = max(column_fraction[x_to_col(x)], p)
+    running = 0.0
+    for col in range(width):
+        running = max(running, column_fraction[col])
+        column_fraction[col] = running
+
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = row / height
+        line = "".join(
+            "#" if column_fraction[col] >= threshold else " " for col in range(width)
+        )
+        axis = f"{threshold:4.0%} |" if row in (height, height // 2, 1) else "     |"
+        rows.append(axis + line)
+    footer = "     +" + "-" * width
+    lo_label, hi_label = x_formatter(lo), x_formatter(hi)
+    label_line = f"      {lo_label}{' ' * max(1, width - len(lo_label) - len(hi_label))}{hi_label}"
+    lines = [title, ""] + rows + [footer, label_line]
+    if x_label:
+        lines.append(f"      ({x_label})")
+    return "\n".join(lines)
+
+
+def multi_cdf_table(
+    cdfs: Mapping[str, CDF],
+    thresholds: Sequence[float],
+    formatter=format_duration,
+    title: str = "",
+) -> str:
+    """Several CDFs as a fraction-at-most table (used for Figure 4)."""
+    lines = []
+    if title:
+        lines.extend([title, ""])
+    header = f"{'series':<12}" + "".join(f"{'<=' + formatter(t):>12}" for t in thresholds)
+    header += f"{'n':>8}"
+    lines.append(header)
+    for name, cdf in cdfs.items():
+        row = f"{name:<12}" + "".join(
+            f"{cdf.fraction_at_most(t):>12.0%}" for t in thresholds
+        )
+        row += f"{len(cdf):>8}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+__all__ = ["ascii_cdf", "multi_cdf_table"]

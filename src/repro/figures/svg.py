@@ -1,0 +1,226 @@
+"""Standalone SVG rendering for the paper's figures.
+
+The ASCII renderers in :mod:`repro.figures.plots` are for terminals;
+this module emits real, viewable figures — step-function CDFs with
+log-scaled time axes (Figures 1/2/3/5/8) and treemaps (Figures 6/7) —
+as self-contained SVG strings, with no plotting dependencies.
+
+The drawing model is intentionally small: a fixed plot box, log or
+linear x mapping, stepped polylines, and text labels.  Colors follow
+the paper's severity scale for treemaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..core.cdf import CDF
+from ..netsim.clock import format_duration
+from .treemap import TreemapCell
+
+_SERIES_COLORS = ("#1f6feb", "#d1242f", "#1a7f37", "#9a6700", "#8250df",
+                  "#bf3989")
+_SEVERITY_FILL = {
+    "red": "#d1242f",
+    "orange": "#fb8f44",
+    "yellow": "#eac54f",
+    "green": "#4ac26b",
+}
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+            .replace('"', "&quot;"))
+
+
+@dataclass
+class _Frame:
+    """Plot-box geometry and x-axis mapping."""
+
+    width: int
+    height: int
+    left: int = 70
+    right: int = 20
+    top: int = 40
+    bottom: int = 50
+    log_x: bool = True
+    x_min: float = 1.0
+    x_max: float = 10.0
+
+    @property
+    def plot_width(self) -> int:
+        return self.width - self.left - self.right
+
+    @property
+    def plot_height(self) -> int:
+        return self.height - self.top - self.bottom
+
+    def x(self, value: float) -> float:
+        value = min(max(value, self.x_min), self.x_max)
+        if self.log_x:
+            frac = (math.log10(value) - math.log10(self.x_min)) / (
+                math.log10(self.x_max) - math.log10(self.x_min)
+            )
+        else:
+            frac = (value - self.x_min) / (self.x_max - self.x_min)
+        return self.left + frac * self.plot_width
+
+    def y(self, fraction: float) -> float:
+        return self.top + (1.0 - fraction) * self.plot_height
+
+
+def _axis_ticks(frame: _Frame) -> list[float]:
+    if not frame.log_x:
+        step = (frame.x_max - frame.x_min) / 6
+        return [frame.x_min + i * step for i in range(7)]
+    lo = math.ceil(math.log10(frame.x_min))
+    hi = math.floor(math.log10(frame.x_max))
+    return [10.0 ** e for e in range(lo, hi + 1)]
+
+
+def _step_path(frame: _Frame, points: Sequence[tuple[float, float]]) -> str:
+    """SVG path for a right-continuous CDF step function."""
+    if not points:
+        return ""
+    parts = [f"M {frame.x(points[0][0]):.1f} {frame.y(0.0):.1f}"]
+    previous_fraction = 0.0
+    for x, fraction in points:
+        parts.append(f"L {frame.x(x):.1f} {frame.y(previous_fraction):.1f}")
+        parts.append(f"L {frame.x(x):.1f} {frame.y(fraction):.1f}")
+        previous_fraction = fraction
+    parts.append(f"L {frame.x(frame.x_max):.1f} {frame.y(previous_fraction):.1f}")
+    return " ".join(parts)
+
+
+def cdf_svg(
+    cdfs: Mapping[str, CDF],
+    title: str,
+    x_label: str = "",
+    width: int = 640,
+    height: int = 400,
+    log_x: bool = True,
+    x_formatter=format_duration,
+    x_min: Optional[float] = None,
+) -> str:
+    """Render one or more CDFs as a stepped-line SVG chart."""
+    all_values = [v for cdf in cdfs.values() for v in cdf.values if v > 0]
+    lo = x_min if x_min is not None else (min(all_values) if all_values else 1.0)
+    hi = max(all_values) if all_values else lo * 10
+    if hi <= lo:
+        hi = lo * 10
+    frame = _Frame(width=width, height=height, log_x=log_x, x_min=lo, x_max=hi)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="22" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{_escape(title)}</text>',
+        f'<rect x="{frame.left}" y="{frame.top}" width="{frame.plot_width}" '
+        f'height="{frame.plot_height}" fill="none" stroke="#333"/>',
+    ]
+    # Y gridlines at 0/25/50/75/100%.
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = frame.y(fraction)
+        parts.append(
+            f'<line x1="{frame.left}" y1="{y:.1f}" '
+            f'x2="{frame.left + frame.plot_width}" y2="{y:.1f}" '
+            f'stroke="#ddd"/>' if 0 < fraction < 1 else ""
+        )
+        parts.append(
+            f'<text x="{frame.left - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{fraction:.0%}</text>'
+        )
+    # X ticks.
+    for tick in _axis_ticks(frame):
+        x = frame.x(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{frame.top + frame.plot_height}" '
+            f'x2="{x:.1f}" y2="{frame.top + frame.plot_height + 5}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{frame.top + frame.plot_height + 20}" '
+            f'text-anchor="middle">{_escape(x_formatter(tick))}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="{height - 8}" text-anchor="middle" '
+            f'fill="#555">{_escape(x_label)}</text>'
+        )
+    # Series.
+    for index, (name, cdf) in enumerate(cdfs.items()):
+        color = _SERIES_COLORS[index % len(_SERIES_COLORS)]
+        path = _step_path(frame, cdf.step_points())
+        if path:
+            parts.append(
+                f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+            )
+        legend_y = frame.top + 16 + 18 * index
+        parts.append(
+            f'<line x1="{frame.left + 10}" y1="{legend_y - 4}" '
+            f'x2="{frame.left + 34}" y2="{legend_y - 4}" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{frame.left + 40}" y="{legend_y}">{_escape(name)} '
+            f'(n={len(cdf)})</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(p for p in parts if p)
+
+
+def treemap_svg(
+    cells: Sequence[TreemapCell],
+    title: str,
+    width: int = 640,
+    height: int = 420,
+    label_min_fraction: float = 0.01,
+) -> str:
+    """Render a treemap layout as SVG (Figures 6/7)."""
+    top = 36
+    legend_height = 26
+    plot_height = height - top - legend_height
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="22" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{_escape(title)}</text>',
+    ]
+    for cell in cells:
+        x = cell.x * width
+        y = top + cell.y * plot_height
+        w = cell.width * width
+        h = cell.height * plot_height
+        fill = _SEVERITY_FILL[cell.severity]
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{max(w, 0.5):.1f}" '
+            f'height="{max(h, 0.5):.1f}" fill="{fill}" stroke="white" '
+            f'stroke-width="1"><title>{_escape(cell.label)}: {cell.size} '
+            f'domains, {_escape(format_duration(cell.longevity_seconds))}'
+            f'</title></rect>'
+        )
+        if cell.width * cell.height >= label_min_fraction and w > 60 and h > 14:
+            parts.append(
+                f'<text x="{x + w / 2:.1f}" y="{y + h / 2 + 4:.1f}" '
+                f'text-anchor="middle" fill="white">'
+                f'{_escape(cell.label)} ({cell.size})</text>'
+            )
+    legend_items = [("&lt; 24 h", "green"), ("&#8805; 24 h", "yellow"),
+                    ("&#8805; 7 d", "orange"), ("&#8805; 30 d", "red")]
+    x_cursor = 10
+    legend_y = height - 8
+    for label, severity in legend_items:
+        parts.append(
+            f'<rect x="{x_cursor}" y="{legend_y - 11}" width="12" height="12" '
+            f'fill="{_SEVERITY_FILL[severity]}"/>'
+        )
+        parts.append(f'<text x="{x_cursor + 16}" y="{legend_y}">{label}</text>')
+        x_cursor += 95
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+__all__ = ["cdf_svg", "treemap_svg"]

@@ -1,0 +1,131 @@
+"""Treemap layout for Figures 6 and 7.
+
+The paper visualizes service groups as boxes sized by member count and
+colored by secret longevity (solid red = a key shared for ≥ 30 days).
+This module computes a slice-and-dice treemap layout (rectangles in a
+unit square) plus an ASCII rendering that conveys the same two signals:
+area = group size, shading = median secret lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..netsim.clock import DAY, HOUR
+
+
+@dataclass(frozen=True)
+class TreemapCell:
+    """One service group's box."""
+
+    label: str
+    size: int                 # member domains
+    longevity_seconds: float  # median secret lifetime for the group
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def severity(self) -> str:
+        """The paper's color scale, as a category."""
+        if self.longevity_seconds >= 30 * DAY:
+            return "red"        # solid red boxes in Fig. 6
+        if self.longevity_seconds >= 7 * DAY:
+            return "orange"
+        if self.longevity_seconds >= 24 * HOUR:
+            return "yellow"
+        return "green"
+
+
+_SEVERITY_CHAR = {"red": "#", "orange": "x", "yellow": "+", "green": "."}
+
+
+def layout_treemap(
+    groups: Sequence[tuple[str, int, float]],
+    x: float = 0.0,
+    y: float = 0.0,
+    width: float = 1.0,
+    height: float = 1.0,
+) -> list[TreemapCell]:
+    """Slice-and-dice layout of (label, size, longevity) groups.
+
+    Groups are laid out largest-first, alternating split direction —
+    simple, deterministic, and proportional, which is all the figure
+    needs.
+    """
+    ordered = sorted(groups, key=lambda g: -g[1])
+    cells: list[TreemapCell] = []
+    _slice(ordered, x, y, width, height, vertical=True, out=cells)
+    return cells
+
+
+def _slice(
+    groups: Sequence[tuple[str, int, float]],
+    x: float,
+    y: float,
+    width: float,
+    height: float,
+    vertical: bool,
+    out: list[TreemapCell],
+) -> None:
+    if not groups:
+        return
+    total = sum(size for _, size, _ in groups)
+    if total <= 0:
+        return
+    if len(groups) == 1:
+        label, size, longevity = groups[0]
+        out.append(TreemapCell(label, size, longevity, x, y, width, height))
+        return
+    # Put the largest group in the first slice, recurse on the rest.
+    label, size, longevity = groups[0]
+    fraction = size / total
+    if vertical:
+        slice_width = width * fraction
+        out.append(TreemapCell(label, size, longevity, x, y, slice_width, height))
+        _slice(groups[1:], x + slice_width, y, width - slice_width, height,
+               vertical=False, out=out)
+    else:
+        slice_height = height * fraction
+        out.append(TreemapCell(label, size, longevity, x, y, width, slice_height))
+        _slice(groups[1:], x, y + slice_height, width, height - slice_height,
+               vertical=True, out=out)
+
+
+def render_treemap(
+    cells: Sequence[TreemapCell],
+    columns: int = 72,
+    rows: int = 20,
+    title: str = "",
+) -> str:
+    """ASCII rendering: area ∝ group size, character = severity."""
+    grid = [[" "] * columns for _ in range(rows)]
+    for cell in cells:
+        char = _SEVERITY_CHAR[cell.severity]
+        col0 = int(cell.x * columns)
+        col1 = max(col0 + 1, int((cell.x + cell.width) * columns))
+        row0 = int(cell.y * rows)
+        row1 = max(row0 + 1, int((cell.y + cell.height) * rows))
+        for row in range(row0, min(row1, rows)):
+            for col in range(col0, min(col1, columns)):
+                grid[row][col] = char
+    lines = []
+    if title:
+        lines.extend([title, ""])
+    lines.extend("".join(row) for row in grid)
+    lines.append("")
+    lines.append("legend: '#' >=30d   'x' >=7d   '+' >=24h   '.' <24h")
+    return "\n".join(lines)
+
+
+def severity_histogram(cells: Sequence[TreemapCell]) -> dict[str, int]:
+    """Domains per severity class — the figure's machine-readable core."""
+    histogram = {"red": 0, "orange": 0, "yellow": 0, "green": 0}
+    for cell in cells:
+        histogram[cell.severity] += cell.size
+    return histogram
+
+
+__all__ = ["TreemapCell", "layout_treemap", "render_treemap", "severity_histogram"]

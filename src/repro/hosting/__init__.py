@@ -1,0 +1,19 @@
+"""The synthetic hosting ecosystem standing in for the live Internet."""
+
+from .ecosystem import Domain, Ecosystem, EcosystemConfig, build_ecosystem
+from .notable import NOTABLE_DOMAINS, NotableDomain
+from .profiles import DomainBehavior, sample_behavior
+from .providers import PROVIDERS, ProviderSpec
+
+__all__ = [
+    "Domain",
+    "Ecosystem",
+    "EcosystemConfig",
+    "build_ecosystem",
+    "NOTABLE_DOMAINS",
+    "NotableDomain",
+    "DomainBehavior",
+    "sample_behavior",
+    "PROVIDERS",
+    "ProviderSpec",
+]

@@ -1,0 +1,294 @@
+"""Per-domain behavior profiles, calibrated to the paper's measurements.
+
+Every domain in the synthetic ecosystem gets a :class:`DomainBehavior`
+— its *ground truth* — sampled from the weighted distributions below.
+The distributions are calibrated so the population-level statistics the
+scanner recovers land near the paper's reported numbers:
+
+* 97% of trusted-HTTPS domains issue session IDs, 83% resume them
+  (Table 1 / §4.1); 61% honor for <5 min, 82% for ≤1 h, a visible jump
+  at 10 h (IIS default), 0.8% for ≥24 h (Fig. 1).
+* 79% issue session tickets, 76% resume; 67% honor <5 min, 76% ≤1 h,
+  clusters at 18 h (CloudFlare) and 28 h (Google) (Fig. 2).
+* Of ticket issuers: 64% use a fresh issuing STEK each day, 36% reuse
+  ≥1 day, 22% >7 days, 10% >30 days (§4.3/§6.1, Fig. 3).
+* 58% of trusted domains complete DHE, 90% ECDHE; 7.2% of DHE and
+  15.5% of ECDHE domains repeat a key-exchange value within a
+  10-connection scan; daily-scan spans per §4.4 (Fig. 5).
+
+Provider-hosted domains (see :mod:`repro.hosting.providers`) override
+these with their operator's shared configuration, which is what
+produces the 18 h/28 h clusters and the large shared-state groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..crypto.rng import DeterministicRandom
+from ..netsim.clock import DAY, HOUR, MINUTE
+from ..tls.ticket import TicketFormat
+
+#: Sentinel rotation interval meaning "longer than any study" — the key
+#: is never rotated (Fastly/Yandex-style configurations).
+NEVER = None
+
+
+@dataclass(frozen=True)
+class DomainBehavior:
+    """Ground-truth TLS configuration of one domain's serving stack."""
+
+    https: bool = True
+    trusted_cert: bool = True
+    # Cipher support.  ECDHE-preferring stacks pick ECDHE from a modern
+    # offer; DHE support shows up only under the DHE-only scan.
+    supports_dhe: bool = True
+    supports_ecdhe: bool = True
+    # Session-ID resumption.
+    issue_session_ids: bool = True
+    session_cache_lifetime: Optional[float] = 5 * MINUTE  # None = no cache
+    # Session tickets.
+    tickets: bool = True
+    ticket_hint_seconds: int = 300
+    ticket_window_seconds: float = 5 * MINUTE
+    ticket_format: TicketFormat = TicketFormat.RFC5077
+    stek_rotation_seconds: Optional[float] = DAY  # None = never rotate
+    stek_retain_previous: int = 1
+    # Ephemeral-value reuse: None = fresh value per handshake.
+    dhe_reuse_seconds: Optional[float] = None
+    ecdhe_reuse_seconds: Optional[float] = None
+
+    @property
+    def resumes_session_ids(self) -> bool:
+        return self.issue_session_ids and self.session_cache_lifetime is not None
+
+
+Weighted = Sequence[tuple[object, float]]
+
+
+def weighted_choice(rng: DeterministicRandom, table: Weighted):
+    """Draw from a (value, weight) table; weights need not sum to 1."""
+    total = sum(weight for _, weight in table)
+    roll = rng.uniform(0.0, total)
+    acc = 0.0
+    for value, weight in table:
+        acc += weight
+        if roll < acc:
+            return value
+    return table[-1][0]
+
+
+# --- population-level support rates (Table 1, §3) ----------------------
+
+P_HTTPS = 0.70             # fraction of list domains that speak HTTPS at all
+P_TRUSTED = 0.86           # of HTTPS domains, fraction with a trusted cert
+P_SUPPORTS_DHE = 0.58      # §4.4: 57% completed a DHE-only handshake
+P_SUPPORTS_ECDHE = 0.90    # §4.4: 80%+ completed ECDHE; ~90% FS overall
+
+# --- session-ID resumption (§4.1, Fig. 1) -------------------------------
+
+P_ISSUE_SESSION_IDS = 0.97   # set a session ID in ServerHello
+P_CACHE_GIVEN_ISSUE = 0.86   # actually resume (0.97 * 0.86 ≈ 0.83)
+
+#: Honored session-cache lifetimes, given the server caches at all.
+#: Mass at 300 s (Apache/Nginx default), a step at 10 h (IIS), and a
+#: sliver at ≥24 h (Google/Facebook-style infrastructure).
+SESSION_CACHE_LIFETIMES: Weighted = (
+    (1 * MINUTE, 0.070),
+    (2 * MINUTE, 0.060),
+    (5 * MINUTE, 0.485),
+    (10 * MINUTE, 0.070),
+    (30 * MINUTE, 0.060),
+    (1 * HOUR, 0.080),
+    (2 * HOUR, 0.020),
+    (4 * HOUR, 0.015),
+    (10 * HOUR, 0.100),
+    (12 * HOUR, 0.015),
+    (18 * HOUR, 0.010),
+    (24 * HOUR, 0.005),
+    (36 * HOUR, 0.003),
+)
+
+# --- session tickets (§4.2, Fig. 2) --------------------------------------
+
+P_ISSUE_TICKETS = 0.78       # issue a NewSessionTicket
+P_HONOR_GIVEN_ISSUE = 0.96   # actually resume offered tickets
+
+#: Honored ticket windows for *independent* domains.  Provider overlays
+#: add the 18 h CloudFlare cluster and the 28 h Google cluster on top.
+TICKET_WINDOWS: Weighted = (
+    (1 * MINUTE, 0.040),
+    (3 * MINUTE, 0.330),     # Apache/Nginx default ticket lifetime
+    (5 * MINUTE, 0.360),
+    (10 * MINUTE, 0.060),
+    (30 * MINUTE, 0.040),
+    (1 * HOUR, 0.070),
+    (2 * HOUR, 0.020),
+    (4 * HOUR, 0.020),
+    (10 * HOUR, 0.020),
+    (24 * HOUR, 0.028),
+    (48 * HOUR, 0.002),
+)
+
+#: Fraction of ticket issuers that leave the lifetime hint unspecified
+#: (hint = 0); the paper saw 14,663 such domains (§4.2).
+P_UNSPECIFIED_HINT = 0.042
+#: A couple of domains hint 90 days (fantabobworld/fantabobshow).
+P_EXTREME_HINT = 0.00002
+EXTREME_HINT_SECONDS = int(90 * DAY)
+
+#: STEK rotation intervals for ticket issuers (§4.3/§6.1, Fig. 3).
+#: Sub-daily rotators show a different issuing STEK every scan day.
+STEK_ROTATIONS: Weighted = (
+    (4 * HOUR, 0.10),
+    (8 * HOUR, 0.15),
+    (12 * HOUR, 0.16),
+    (1 * DAY, 0.22),
+    (2 * DAY, 0.050),
+    (3 * DAY, 0.040),
+    (5 * DAY, 0.035),
+    (8 * DAY, 0.035),
+    (12 * DAY, 0.035),
+    (18 * DAY, 0.030),
+    (25 * DAY, 0.025),
+    (35 * DAY, 0.025),
+    (50 * DAY, 0.020),
+    (NEVER, 0.055),
+)
+
+#: Non-RFC5077 ticket framings: mbedTLS's 4-byte key name and
+#: SChannel's DPAPI blob (§4.3).
+TICKET_FORMATS: Weighted = (
+    (TicketFormat.RFC5077, 0.90),
+    (TicketFormat.MBEDTLS, 0.04),
+    (TicketFormat.SCHANNEL, 0.06),
+)
+
+# --- ephemeral value reuse (§4.4, Fig. 5) --------------------------------
+
+P_DHE_REUSE = 0.072     # of DHE-supporting domains, reuse at all
+P_ECDHE_REUSE = 0.155   # of ECDHE-supporting domains, reuse at all
+
+#: Reuse lifetimes, given the server reuses at all.  Most reusers are
+#: sub-daily (OpenSSL process-lifetime caching + frequent restarts);
+#: the tail reaches the full study span.
+DHE_REUSE_LIFETIMES: Weighted = (
+    (1 * HOUR, 0.17),
+    (3 * HOUR, 0.17),
+    (8 * HOUR, 0.17),
+    (18 * HOUR, 0.10),
+    (1 * DAY, 0.04),
+    (3 * DAY, 0.02),
+    (8 * DAY, 0.03),
+    (12 * DAY, 0.05),
+    (20 * DAY, 0.09),
+    (35 * DAY, 0.07),
+    (NEVER, 0.09),
+)
+
+ECDHE_REUSE_LIFETIMES: Weighted = (
+    (30 * MINUTE, 0.18),
+    (2 * HOUR, 0.22),
+    (6 * HOUR, 0.20),
+    (12 * HOUR, 0.14),
+    (1 * DAY, 0.02),
+    (2 * DAY, 0.015),
+    (4 * DAY, 0.02),
+    (10 * DAY, 0.04),
+    (20 * DAY, 0.065),
+    (40 * DAY, 0.05),
+    (NEVER, 0.05),
+)
+
+
+def _hint_for_window(rng: DeterministicRandom, window: float) -> int:
+    """Advertised lifetime hint for a given honored window."""
+    if rng.random() < P_EXTREME_HINT:
+        return EXTREME_HINT_SECONDS
+    if rng.random() < P_UNSPECIFIED_HINT:
+        return 0
+    return int(window)
+
+
+def sample_behavior(rng: DeterministicRandom) -> DomainBehavior:
+    """Sample one independent (non-provider-hosted) domain's behavior."""
+    https = rng.random() < P_HTTPS
+    if not https:
+        return DomainBehavior(https=False, trusted_cert=False)
+    trusted = rng.random() < P_TRUSTED
+
+    supports_ecdhe = rng.random() < P_SUPPORTS_ECDHE
+    supports_dhe = rng.random() < P_SUPPORTS_DHE
+
+    issue_ids = rng.random() < P_ISSUE_SESSION_IDS
+    if issue_ids and rng.random() < P_CACHE_GIVEN_ISSUE:
+        cache_lifetime: Optional[float] = weighted_choice(rng, SESSION_CACHE_LIFETIMES)
+    else:
+        cache_lifetime = None
+
+    tickets = rng.random() < P_ISSUE_TICKETS
+    if tickets:
+        if rng.random() < P_HONOR_GIVEN_ISSUE:
+            window = float(weighted_choice(rng, TICKET_WINDOWS))
+        else:
+            window = 0.0  # issues tickets, never honors them
+        hint = _hint_for_window(rng, window)
+        rotation = weighted_choice(rng, STEK_ROTATIONS)
+        ticket_format = weighted_choice(rng, TICKET_FORMATS)
+    else:
+        window, hint, rotation = 0.0, 0, DAY
+        ticket_format = TicketFormat.RFC5077
+
+    # Reuse lifetimes: None = fresh per handshake, inf = reuse forever
+    # (the NEVER table entries mean the value is never regenerated).
+    dhe_reuse = None
+    if supports_dhe and rng.random() < P_DHE_REUSE:
+        dhe_reuse = weighted_choice(rng, DHE_REUSE_LIFETIMES)
+        if dhe_reuse is NEVER:
+            dhe_reuse = float("inf")
+    ecdhe_reuse = None
+    if supports_ecdhe and rng.random() < P_ECDHE_REUSE:
+        ecdhe_reuse = weighted_choice(rng, ECDHE_REUSE_LIFETIMES)
+        if ecdhe_reuse is NEVER:
+            ecdhe_reuse = float("inf")
+
+    return DomainBehavior(
+        https=True,
+        trusted_cert=trusted,
+        supports_dhe=supports_dhe,
+        supports_ecdhe=supports_ecdhe,
+        issue_session_ids=issue_ids,
+        session_cache_lifetime=cache_lifetime,
+        tickets=tickets,
+        ticket_hint_seconds=hint,
+        ticket_window_seconds=window,
+        ticket_format=ticket_format,
+        stek_rotation_seconds=rotation,
+        dhe_reuse_seconds=dhe_reuse,
+        ecdhe_reuse_seconds=ecdhe_reuse,
+    )
+
+
+__all__ = [
+    "DomainBehavior",
+    "sample_behavior",
+    "weighted_choice",
+    "NEVER",
+    "SESSION_CACHE_LIFETIMES",
+    "TICKET_WINDOWS",
+    "STEK_ROTATIONS",
+    "TICKET_FORMATS",
+    "DHE_REUSE_LIFETIMES",
+    "ECDHE_REUSE_LIFETIMES",
+    "P_HTTPS",
+    "P_TRUSTED",
+    "P_SUPPORTS_DHE",
+    "P_SUPPORTS_ECDHE",
+    "P_ISSUE_SESSION_IDS",
+    "P_CACHE_GIVEN_ISSUE",
+    "P_ISSUE_TICKETS",
+    "P_HONOR_GIVEN_ISSUE",
+    "P_DHE_REUSE",
+    "P_ECDHE_REUSE",
+]

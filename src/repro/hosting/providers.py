@@ -1,0 +1,451 @@
+"""Hosting providers and their shared-state topology (paper §5).
+
+A provider is a set of *clusters*; each cluster is one SSL-terminator
+process serving many customer domains.  Clusters reference shared
+objects by small integer ids:
+
+* ``cache_group`` — which shared session cache the cluster mounts
+  (Table 5: CloudFlare ran two big caches, Blogspot five);
+* ``stek_group`` — which shared STEK store it issues tickets from
+  (Table 6: one CloudFlare STEK across 62k domains);
+* ``dh_group`` — which shared ephemeral-key cache it draws (EC)DHE
+  values from, or ``None`` for per-process values (Table 7:
+  SquareSpace's single value across 1,627 domains).
+
+Counts are given at the paper's 1M-domain scale and scaled down
+proportionally (with a floor) when building smaller populations, which
+preserves the *ordering* of the service-group tables.
+
+Behavioral parameters come from the paper's observations: CloudFlare
+honored tickets for 18 h and rotated its STEK sub-daily; Google rotated
+every 14 h but accepted for 28 h and kept session IDs alive past 24 h;
+TMall and Fastly never rotated during the nine weeks; Jack Henry &
+Associates' 79 bank domains used one STEK for 59 days, then rotated to
+another shared key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..netsim.clock import DAY, HOUR, MINUTE
+from ..tls.ticket import TicketFormat
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One terminator cluster within a provider."""
+
+    weight: float = 1.0
+    cache_group: int = 0
+    stek_group: int = 0
+    dh_group: Optional[int] = None
+    cache_lifetime: Optional[float] = 5 * MINUTE
+    named_domains: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """A hosting provider / CDN / SSL-terminator operator."""
+
+    name: str
+    asn: int
+    as_blocks: tuple[str, ...]
+    customers_at_1m: int          # customer domains at 1M-population scale
+    min_customers: int            # floor when the population is scaled down
+    clusters: tuple[ClusterSpec, ...]
+    ticket_window: float = 5 * MINUTE
+    ticket_hint: int = 300
+    tickets: bool = True
+    stek_rotation: Optional[float] = DAY
+    stek_retain: int = 1
+    ticket_format: TicketFormat = TicketFormat.RFC5077
+    issue_session_ids: bool = True
+    supports_dhe: bool = False
+    supports_ecdhe: bool = True
+    kex_reuse_seconds: Optional[float] = None
+    customer_pattern: str = "site{index:05d}.{provider}-hosted.example"
+
+    def scaled_customers(self, population: int, full_scale: int = 1_000_000) -> int:
+        """Customer count for a scaled-down population."""
+        scaled = round(self.customers_at_1m * population / full_scale)
+        return max(self.min_customers, scaled)
+
+
+GOOGLE_SERVICE_DOMAINS = (
+    "google.com", "www.google.com", "mail.google.com", "accounts.google.com",
+    "drive.google.com", "docs.google.com", "youtube.com", "gmail.com",
+    "maps.google.com", "play.google.com", "hangouts.google.com",
+    "googleapis.com", "gstatic.com", "google-analytics.com",
+    "googlesyndication.com", "doubleclick.net",
+)
+
+YANDEX_DOMAINS = (
+    "yandex.ru", "yandex.com", "yandex.ua", "yandex.by", "yandex.kz",
+    "yandex.com.tr", "yandex.net", "yandex.st",
+)
+
+#: Jack Henry & Associates: 79 bank/credit-union domains, one STEK for
+#: 59 days, then a rotation to a second shared key (§6.1).
+JACK_HENRY_ROTATION = 59 * DAY
+
+PROVIDERS: tuple[ProviderSpec, ...] = (
+    ProviderSpec(
+        name="cloudflare",
+        asn=13335,
+        as_blocks=("104.16.0.0/14", "172.64.0.0/16"),
+        customers_at_1m=62_176,
+        min_customers=60,
+        clusters=(
+            ClusterSpec(weight=0.66, cache_group=0, stek_group=0,
+                        cache_lifetime=5 * MINUTE),
+            ClusterSpec(weight=0.34, cache_group=1, stek_group=0,
+                        cache_lifetime=5 * MINUTE),
+        ),
+        ticket_window=18 * HOUR,
+        ticket_hint=int(18 * HOUR),
+        stek_rotation=12 * HOUR,
+        customer_pattern="site{index:05d}.cf-proxied.example",
+    ),
+    ProviderSpec(
+        name="google",
+        asn=15169,
+        as_blocks=("172.217.0.0/16", "216.58.0.0/17"),
+        customers_at_1m=8_973,
+        min_customers=30,
+        clusters=(
+            # Cluster 0: Google's own services — one long-lived session
+            # cache (the paper's ≥24 h session-ID resumption cluster).
+            ClusterSpec(weight=0.12, cache_group=0, stek_group=0,
+                        cache_lifetime=30 * HOUR,
+                        named_domains=GOOGLE_SERVICE_DOMAINS),
+            # Clusters 1-5: Blogspot-style hosted customers with five
+            # separate caches of decreasing lifetime (Table 5 / §6.2).
+            ClusterSpec(weight=0.22, cache_group=1, stek_group=0,
+                        cache_lifetime=24 * HOUR),
+            ClusterSpec(weight=0.19, cache_group=2, stek_group=0,
+                        cache_lifetime=18 * HOUR),
+            ClusterSpec(weight=0.18, cache_group=3, stek_group=0,
+                        cache_lifetime=12 * HOUR),
+            ClusterSpec(weight=0.16, cache_group=4, stek_group=0,
+                        cache_lifetime=8 * HOUR),
+            ClusterSpec(weight=0.13, cache_group=5, stek_group=0,
+                        cache_lifetime=4.5 * HOUR),
+        ),
+        ticket_window=28 * HOUR,
+        ticket_hint=int(28 * HOUR),
+        stek_rotation=14 * HOUR,
+        stek_retain=1,
+        customer_pattern="blog{index:05d}.blogspot-like.example",
+    ),
+    ProviderSpec(
+        name="automattic",
+        asn=2635,
+        as_blocks=("192.0.64.0/18",),
+        customers_at_1m=4_182,
+        min_customers=16,
+        clusters=(
+            ClusterSpec(weight=0.57, cache_group=0, stek_group=0,
+                        cache_lifetime=1 * HOUR),
+            ClusterSpec(weight=0.43, cache_group=1, stek_group=0,
+                        cache_lifetime=1 * HOUR),
+        ),
+        ticket_window=1 * HOUR,
+        ticket_hint=3600,
+        stek_rotation=DAY,
+        customer_pattern="site{index:05d}.wordpress-like.example",
+    ),
+    ProviderSpec(
+        name="tmall",
+        asn=24429,
+        as_blocks=("140.205.0.0/16",),
+        customers_at_1m=3_305,
+        min_customers=12,
+        clusters=(ClusterSpec(weight=1.0, cache_lifetime=5 * MINUTE),),
+        ticket_window=30 * MINUTE,
+        ticket_hint=1800,
+        stek_rotation=None,  # never rotated during the study (Fig. 6)
+        customer_pattern="shop{index:05d}.tmall-like.example",
+    ),
+    ProviderSpec(
+        name="shopify",
+        asn=62679,
+        as_blocks=("23.227.32.0/20",),
+        customers_at_1m=3_247,
+        min_customers=12,
+        clusters=(
+            ClusterSpec(weight=0.20, cache_group=0, stek_group=0,
+                        cache_lifetime=10 * MINUTE),
+            ClusterSpec(weight=0.20, cache_group=1, stek_group=0,
+                        cache_lifetime=10 * MINUTE),
+            ClusterSpec(weight=0.20, cache_group=2, stek_group=0,
+                        cache_lifetime=10 * MINUTE),
+            ClusterSpec(weight=0.20, cache_group=3, stek_group=0,
+                        cache_lifetime=10 * MINUTE),
+            ClusterSpec(weight=0.20, cache_group=4, stek_group=0,
+                        cache_lifetime=10 * MINUTE),
+        ),
+        ticket_window=10 * MINUTE,
+        ticket_hint=600,
+        stek_rotation=DAY,
+        customer_pattern="store{index:05d}.shopify-like.example",
+    ),
+    ProviderSpec(
+        name="godaddy",
+        asn=26496,
+        as_blocks=("160.153.0.0/16",),
+        customers_at_1m=1_875,
+        min_customers=8,
+        clusters=(ClusterSpec(weight=1.0, cache_lifetime=5 * MINUTE),),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        supports_dhe=True,
+        customer_pattern="site{index:05d}.godaddy-hosted.example",
+    ),
+    ProviderSpec(
+        name="amazon",
+        asn=16509,
+        as_blocks=("54.230.0.0/16",),
+        customers_at_1m=1_495,
+        min_customers=7,
+        clusters=(ClusterSpec(weight=1.0, cache_lifetime=5 * MINUTE),),
+        ticket_window=1 * HOUR,
+        ticket_hint=3600,
+        stek_rotation=12 * HOUR,
+        customer_pattern="app{index:05d}.elb-fronted.example",
+    ),
+    ProviderSpec(
+        name="tumblr",
+        asn=2637,
+        as_blocks=("66.6.32.0/20",),
+        customers_at_1m=2_890,
+        min_customers=12,
+        clusters=(
+            ClusterSpec(weight=0.34, cache_group=0, stek_group=0,
+                        cache_lifetime=30 * MINUTE),
+            ClusterSpec(weight=0.33, cache_group=1, stek_group=1,
+                        cache_lifetime=30 * MINUTE),
+            ClusterSpec(weight=0.33, cache_group=2, stek_group=2,
+                        cache_lifetime=30 * MINUTE),
+        ),
+        ticket_window=30 * MINUTE,
+        ticket_hint=1800,
+        stek_rotation=DAY,
+        customer_pattern="blog{index:05d}.tumblr-like.example",
+    ),
+    ProviderSpec(
+        name="fastly",
+        asn=54113,
+        as_blocks=("151.101.0.0/16",),
+        customers_at_1m=610,
+        min_customers=6,
+        clusters=(ClusterSpec(
+            weight=1.0, cache_lifetime=5 * MINUTE,
+            named_domains=("foursquare-like.example", "gov-uk-like.example",
+                           "aclu-like.example"),
+        ),),
+        ticket_window=1 * HOUR,
+        ticket_hint=3600,
+        stek_rotation=None,  # same STEK for the whole study (§6.1)
+        customer_pattern="cdn{index:05d}.fastly-fronted.example",
+    ),
+    ProviderSpec(
+        name="jackhenry",
+        asn=22357,
+        as_blocks=("208.77.96.0/20",),
+        customers_at_1m=79,
+        min_customers=6,
+        clusters=(ClusterSpec(weight=1.0, cache_lifetime=5 * MINUTE),),
+        ticket_window=10 * MINUTE,
+        ticket_hint=600,
+        stek_rotation=JACK_HENRY_ROTATION,
+        stek_retain=0,
+        customer_pattern="bank{index:04d}.jack-henry.example",
+    ),
+    ProviderSpec(
+        name="squarespace",
+        asn=53831,
+        as_blocks=("198.185.159.0/24", "198.49.23.0/24"),
+        customers_at_1m=1_627,
+        min_customers=8,
+        clusters=(ClusterSpec(weight=1.0, dh_group=0,
+                              cache_lifetime=5 * MINUTE),),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=2 * DAY,
+        customer_pattern="site{index:05d}.squarespace-like.example",
+    ),
+    ProviderSpec(
+        name="livejournal",
+        asn=26853,
+        as_blocks=("208.93.0.0/20",),
+        customers_at_1m=1_330,
+        min_customers=7,
+        clusters=(ClusterSpec(weight=1.0, dh_group=0,
+                              cache_lifetime=5 * MINUTE),),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=1 * DAY,
+        customer_pattern="journal{index:05d}.livejournal-like.example",
+    ),
+    ProviderSpec(
+        name="jimdo",
+        asn=16276,  # hosted on EC2-like space per the paper
+        as_blocks=("52.28.0.0/16",),
+        customers_at_1m=357,
+        min_customers=8,
+        clusters=(
+            ClusterSpec(weight=0.5, cache_group=0, stek_group=0, dh_group=0,
+                        cache_lifetime=5 * MINUTE),
+            ClusterSpec(weight=0.5, cache_group=1, stek_group=1, dh_group=1,
+                        cache_lifetime=5 * MINUTE),
+        ),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=18 * DAY,  # 19- and 17-day shared values (§6.3)
+        customer_pattern="page{index:04d}.jimdo-like.example",
+    ),
+    ProviderSpec(
+        name="affinity",
+        asn=36483,
+        as_blocks=("205.178.136.0/21",),
+        customers_at_1m=146,
+        min_customers=6,
+        clusters=(ClusterSpec(weight=1.0, dh_group=0,
+                              cache_lifetime=5 * MINUTE),),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=None,  # never regenerates: 62-day shared value
+        supports_dhe=True,
+        customer_pattern="site{index:04d}.affinity-hosted.example",
+    ),
+    ProviderSpec(
+        name="distil",
+        asn=394271,
+        as_blocks=("107.154.96.0/20",),
+        customers_at_1m=174,
+        min_customers=6,
+        clusters=(ClusterSpec(weight=1.0, dh_group=0,
+                              cache_lifetime=5 * MINUTE),),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=12 * HOUR,
+        customer_pattern="guard{index:04d}.distil-fronted.example",
+    ),
+    ProviderSpec(
+        name="atypon",
+        asn=25739,
+        as_blocks=("104.232.16.0/21",),
+        customers_at_1m=167,
+        min_customers=6,
+        clusters=(ClusterSpec(weight=1.0, dh_group=0,
+                              cache_lifetime=5 * MINUTE),),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=1 * DAY,
+        customer_pattern="journal{index:04d}.atypon-hosted.example",
+    ),
+    ProviderSpec(
+        name="linecorp",
+        asn=38631,
+        as_blocks=("147.92.128.0/17",),
+        customers_at_1m=114,
+        min_customers=5,
+        clusters=(ClusterSpec(weight=1.0, dh_group=0,
+                              cache_lifetime=5 * MINUTE),),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=6 * HOUR,
+        customer_pattern="svc{index:04d}.line-corp.example",
+    ),
+    ProviderSpec(
+        name="digitalinsight",
+        asn=20060,
+        as_blocks=("206.112.96.0/20",),
+        customers_at_1m=98,
+        min_customers=5,
+        clusters=(ClusterSpec(weight=1.0, dh_group=0,
+                              cache_lifetime=5 * MINUTE),),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=1 * DAY,
+        supports_dhe=True,
+        customer_pattern="bank{index:04d}.digital-insight.example",
+    ),
+    ProviderSpec(
+        name="edgecast",
+        asn=15133,
+        as_blocks=("192.229.128.0/17",),
+        customers_at_1m=75,
+        min_customers=5,
+        clusters=(ClusterSpec(weight=1.0, dh_group=0,
+                              cache_lifetime=5 * MINUTE),),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=2 * DAY,
+        customer_pattern="cdn{index:04d}.edgecast-fronted.example",
+    ),
+    ProviderSpec(
+        name="hostway",
+        asn=20401,
+        as_blocks=("64.79.64.0/19",),
+        customers_at_1m=137,
+        min_customers=6,
+        clusters=(
+            # One DHE value shared across four terminators / many IPs
+            # (the paper saw it on 119 addresses in AS 20401).
+            ClusterSpec(weight=0.25, cache_group=0, stek_group=0, dh_group=0,
+                        cache_lifetime=5 * MINUTE),
+            ClusterSpec(weight=0.25, cache_group=1, stek_group=0, dh_group=0,
+                        cache_lifetime=5 * MINUTE),
+            ClusterSpec(weight=0.25, cache_group=2, stek_group=0, dh_group=0,
+                        cache_lifetime=5 * MINUTE),
+            ClusterSpec(weight=0.25, cache_group=3, stek_group=0, dh_group=0,
+                        cache_lifetime=5 * MINUTE),
+        ),
+        ticket_window=5 * MINUTE,
+        ticket_hint=300,
+        stek_rotation=DAY,
+        kex_reuse_seconds=10 * DAY,
+        supports_dhe=True,
+        supports_ecdhe=False,  # the shared value the paper saw was DHE
+        customer_pattern="host{index:04d}.hostway-hosted.example",
+    ),
+    ProviderSpec(
+        name="yandex",
+        asn=13238,
+        as_blocks=("5.255.192.0/18",),
+        customers_at_1m=8,
+        min_customers=8,
+        clusters=(ClusterSpec(weight=1.0, cache_lifetime=1 * HOUR,
+                              named_domains=YANDEX_DOMAINS),),
+        ticket_window=2 * HOUR,
+        ticket_hint=7200,
+        stek_rotation=None,  # in continuous use for 8+ months (§7.2)
+        customer_pattern="svc{index:02d}.yandex-like.example",
+    ),
+)
+
+PROVIDERS_BY_NAME = {spec.name: spec for spec in PROVIDERS}
+
+
+__all__ = [
+    "ClusterSpec",
+    "ProviderSpec",
+    "PROVIDERS",
+    "PROVIDERS_BY_NAME",
+    "GOOGLE_SERVICE_DOMAINS",
+    "YANDEX_DOMAINS",
+    "JACK_HENRY_ROTATION",
+]

@@ -1,0 +1,21 @@
+"""Nation-state adversary: passive collection + retrospective decryption."""
+
+from .adversary import (
+    DecryptionOutcome,
+    NationStateAttacker,
+    PassiveCollector,
+    RecordedConnection,
+    reconstruct_connection,
+)
+from .google import TargetAnalysisReport, analyze_target, render_report
+
+__all__ = [
+    "DecryptionOutcome",
+    "NationStateAttacker",
+    "PassiveCollector",
+    "RecordedConnection",
+    "reconstruct_connection",
+    "TargetAnalysisReport",
+    "analyze_target",
+    "render_report",
+]

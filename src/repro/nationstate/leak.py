@@ -1,0 +1,197 @@
+"""Heartbleed-style memory disclosure as a concrete theft vector.
+
+The paper's threat model (§2.1) begins with the attacker obtaining the
+server's secret state — "perhaps by exploiting a memory leak like
+Heartbleed".  This module makes that vector executable instead of
+assumed: a vulnerable server process exposes bounded reads of a
+synthetic process heap containing its live TLS secrets, and an attacker
+reassembles STEKs, cached master secrets, and ephemeral private values
+from repeated over-reads.
+
+Like the real bug, each leak returns a bounded window from an attacker-
+uncontrolled offset, so recovering a specific secret takes repeated
+probes; unlike the real bug, the heap layout here is deliberately
+simple (tagged records), because the measurement-relevant property is
+*what* lives in memory and for how long — exactly the paper's point
+that expired-by-policy secrets may still be recoverable forensically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto.rng import DeterministicRandom
+from ..tls.server import TLSServer
+from ..tls.session import SessionState
+from ..tls.ticket import STEK
+
+#: Tags marking secret records in the synthetic heap.
+STEK_TAG = b"\xde\xad\x53\x54\x45\x4b"       # ...STEK
+SESSION_TAG = b"\xde\xad\x53\x45\x53\x53"    # ...SESS
+DH_TAG = b"\xde\xad\x44\x48\x50\x56"         # ...DHPV
+MAX_LEAK_BYTES = 0xFFFF                       # Heartbleed's 64 KB
+
+
+def build_heap_image(
+    server: TLSServer, rng: DeterministicRandom, filler_bytes: int = 4096
+) -> bytes:
+    """Serialize a server process's live TLS secrets into a heap image.
+
+    Layout: random filler interleaved with tagged records —
+    ``TAG || u16 length || payload`` — for every STEK in the store,
+    every live session in the cache, and any cached ephemeral private
+    values.  Secrets a clean process would have erased simply don't
+    appear; that is the defender's only lever.
+    """
+    chunks: list[bytes] = []
+
+    def filler() -> bytes:
+        return rng.random_bytes(rng.randrange(64, max(65, filler_bytes // 8)))
+
+    def record(tag: bytes, payload: bytes) -> None:
+        chunks.append(filler())
+        chunks.append(tag + len(payload).to_bytes(2, "big") + payload)
+
+    store = server.config.stek_store
+    if store is not None:
+        for stek in store.all_keys:
+            record(STEK_TAG, stek.key_name + stek.aes_key + stek.hmac_key)
+    cache = server.config.session_cache
+    if cache is not None:
+        for session in cache.live_sessions(now=server._now()):
+            record(SESSION_TAG, session.master_secret)
+    kex = server.kex_cache
+    if kex.current_dh is not None:
+        private = kex.current_dh.private
+        record(DH_TAG, private.to_bytes((private.bit_length() + 7) // 8, "big"))
+    if kex.current_ec is not None:
+        private = kex.current_ec.private
+        record(DH_TAG, private.to_bytes((private.bit_length() + 7) // 8, "big"))
+    chunks.append(filler())
+    return b"".join(chunks)
+
+
+class VulnerableServer:
+    """A server process with a Heartbleed-class bounded over-read."""
+
+    def __init__(self, server: TLSServer, rng: DeterministicRandom) -> None:
+        self._server = server
+        self._rng = rng
+        self.leaks_served = 0
+
+    def leak(self, length: int) -> bytes:
+        """One malformed-heartbeat response: ``length`` bytes from an
+        attacker-uncontrolled heap offset (capped like the real bug)."""
+        if length <= 0:
+            return b""
+        length = min(length, MAX_LEAK_BYTES)
+        heap = build_heap_image(self._server, self._rng.fork(f"heap-{self.leaks_served}"))
+        self.leaks_served += 1
+        if length >= len(heap):
+            return heap
+        offset = self._rng.randbelow(len(heap) - length)
+        return heap[offset : offset + length]
+
+
+@dataclass
+class LeakHarvest:
+    """Secrets extracted from accumulated memory disclosures."""
+
+    steks: list[STEK] = field(default_factory=list)
+    master_secrets: list[bytes] = field(default_factory=list)
+    kex_privates: list[int] = field(default_factory=list)
+    leaks_used: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not (self.steks or self.master_secrets or self.kex_privates)
+
+
+def _scan_records(blob: bytes, tag: bytes) -> list[bytes]:
+    """Extract complete tagged records from a leaked window."""
+    found = []
+    start = 0
+    while True:
+        index = blob.find(tag, start)
+        if index < 0:
+            break
+        header_end = index + len(tag) + 2
+        if header_end > len(blob):
+            break
+        length = int.from_bytes(blob[index + len(tag) : header_end], "big")
+        end = header_end + length
+        if end <= len(blob):
+            found.append(blob[header_end:end])
+        start = index + 1
+    return found
+
+
+def harvest_leaks(
+    vulnerable: VulnerableServer,
+    attempts: int = 32,
+    leak_size: int = MAX_LEAK_BYTES,
+    now: float = 0.0,
+) -> LeakHarvest:
+    """Repeatedly exploit the over-read and reassemble secrets.
+
+    Returns everything recovered; duplicates are collapsed.  The number
+    of attempts needed depends on heap size vs. leak window — with
+    Heartbleed's 64 KB window and this module's small synthetic heaps,
+    a handful of probes usually suffices, mirroring how cheaply the
+    real bug yielded key material.
+    """
+    harvest = LeakHarvest()
+    seen_steks: set[bytes] = set()
+    seen_masters: set[bytes] = set()
+    seen_privates: set[int] = set()
+    for _ in range(attempts):
+        blob = vulnerable.leak(leak_size)
+        harvest.leaks_used += 1
+        for payload in _scan_records(blob, STEK_TAG):
+            if len(payload) < 16 + 16 + 32 or payload in seen_steks:
+                continue
+            seen_steks.add(payload)
+            name_length = len(payload) - 48
+            harvest.steks.append(STEK(
+                key_name=payload[:name_length],
+                aes_key=payload[name_length : name_length + 16],
+                hmac_key=payload[name_length + 16 :],
+                created_at=now,
+            ))
+        for payload in _scan_records(blob, SESSION_TAG):
+            if len(payload) == 48 and payload not in seen_masters:
+                seen_masters.add(payload)
+                harvest.master_secrets.append(payload)
+        for payload in _scan_records(blob, DH_TAG):
+            value = int.from_bytes(payload, "big")
+            if value and value not in seen_privates:
+                seen_privates.add(value)
+                harvest.kex_privates.append(value)
+    return harvest
+
+
+def session_states_from_masters(
+    masters: list[bytes], template: SessionState
+) -> list[SessionState]:
+    """Wrap leaked master secrets as session states for the attacker."""
+    return [
+        SessionState(
+            master_secret=master,
+            cipher_suite=template.cipher_suite,
+            version=template.version,
+            created_at=template.created_at,
+            domain=template.domain,
+        )
+        for master in masters
+    ]
+
+
+__all__ = [
+    "MAX_LEAK_BYTES",
+    "VulnerableServer",
+    "LeakHarvest",
+    "build_heap_image",
+    "harvest_leaks",
+    "session_states_from_masters",
+]

@@ -1,0 +1,28 @@
+"""Simulated Internet substrate: virtual time, IPv4, ASes, DNS, routing."""
+
+from .address import AddressAllocator, CIDRBlock, IPv4Address
+from .clock import DAY, HOUR, MINUTE, SECOND, WEEK, SimClock, format_duration
+from .dns import DNSZone, NXDomainError
+from .network import ConnectTimeout, Endpoint, HTTPS_PORT, Network
+from .topology import ASRegistry, AutonomousSystem
+
+__all__ = [
+    "IPv4Address",
+    "CIDRBlock",
+    "AddressAllocator",
+    "SimClock",
+    "format_duration",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "DNSZone",
+    "NXDomainError",
+    "Network",
+    "Endpoint",
+    "ConnectTimeout",
+    "HTTPS_PORT",
+    "ASRegistry",
+    "AutonomousSystem",
+]

@@ -1,0 +1,105 @@
+"""IPv4 addresses, CIDR blocks, and per-AS address allocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address stored as an unsigned 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 32:
+            raise ValueError("IPv4 address out of range")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 address {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise ValueError(f"malformed IPv4 address {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{v >> 24}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def slash24(self) -> "CIDRBlock":
+        """The /24 containing this address (used for same-block grouping)."""
+        return CIDRBlock(self.value & ~0xFF, 24)
+
+
+@dataclass(frozen=True)
+class CIDRBlock:
+    """A CIDR prefix: base address (host bits zero) + prefix length."""
+
+    base: int
+    prefix: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix <= 32:
+            raise ValueError("prefix length out of range")
+        mask = self.mask
+        if self.base & ~mask & 0xFFFFFFFF:
+            raise ValueError("CIDR base has host bits set")
+
+    @classmethod
+    def parse(cls, text: str) -> "CIDRBlock":
+        address, _, prefix = text.partition("/")
+        return cls(IPv4Address.parse(address).value, int(prefix))
+
+    @property
+    def mask(self) -> int:
+        return (0xFFFFFFFF << (32 - self.prefix)) & 0xFFFFFFFF if self.prefix else 0
+
+    @property
+    def size(self) -> int:
+        return 1 << (32 - self.prefix)
+
+    def contains(self, address: IPv4Address) -> bool:
+        return (address.value & self.mask) == self.base
+
+    def address(self, offset: int) -> IPv4Address:
+        if not 0 <= offset < self.size:
+            raise ValueError("offset outside CIDR block")
+        return IPv4Address(self.base + offset)
+
+    def __str__(self) -> str:
+        return f"{IPv4Address(self.base)}/{self.prefix}"
+
+
+class AddressAllocator:
+    """Hands out sequential addresses from a CIDR block.
+
+    Skips network (.0) and broadcast (.255) style boundary addresses of
+    each /24 for cosmetic realism.
+    """
+
+    def __init__(self, block: CIDRBlock) -> None:
+        self.block = block
+        self._next = 0
+
+    def allocate(self) -> IPv4Address:
+        while True:
+            if self._next >= self.block.size:
+                raise RuntimeError(f"address pool {self.block} exhausted")
+            address = self.block.address(self._next)
+            self._next += 1
+            low_octet = address.value & 0xFF
+            if low_octet not in (0, 255):
+                return address
+
+    @property
+    def allocated(self) -> int:
+        return self._next
+
+
+__all__ = ["IPv4Address", "CIDRBlock", "AddressAllocator"]

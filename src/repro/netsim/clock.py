@@ -1,0 +1,69 @@
+"""Simulated time.
+
+All timestamps in the system are seconds on a single virtual clock, so
+a nine-week measurement study runs in seconds of wall time and is
+perfectly reproducible.  The clock only moves forward.
+"""
+
+from __future__ import annotations
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+
+class SimClock:
+    """A monotonically advancing virtual clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.start = float(start)
+
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValueError("time cannot move backwards")
+        self._now = float(timestamp)
+        return self._now
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the clock was created."""
+        return self._now - self.start
+
+    @property
+    def day_index(self) -> int:
+        """Whole days elapsed since the clock's start (day 0, 1, 2, …)."""
+        return int(self.elapsed // DAY)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self._now:.0f}s, day={self.day_index})"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration ("5 min", "18 h", "63 d") for reports."""
+    if seconds < MINUTE:
+        return f"{seconds:.0f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.0f} min"
+    if seconds < DAY:
+        value = seconds / HOUR
+        return f"{value:.0f} h" if value == int(value) else f"{value:.1f} h"
+    value = seconds / DAY
+    return f"{value:.0f} d" if value == int(value) else f"{value:.1f} d"
+
+
+__all__ = ["SimClock", "format_duration", "SECOND", "MINUTE", "HOUR", "DAY", "WEEK"]

@@ -1,0 +1,73 @@
+"""A minimal DNS: A records (with multi-record round robin) and MX records.
+
+Two paper-relevant behaviors live here:
+
+* multiple A records per domain — the paper attributes some day-to-day
+  jitter in STEK observations to "the ZMap tool-chain's choice of
+  A-record entries between days";
+* MX records — §7.2 counts Alexa domains whose MX points at Google's
+  mail servers to size the intelligence value of Google's STEK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.rng import DeterministicRandom
+from .address import IPv4Address
+
+
+class NXDomainError(KeyError):
+    """The queried name does not exist."""
+
+
+@dataclass
+class DNSRecordSet:
+    """All records for one name."""
+
+    a_records: list[IPv4Address] = field(default_factory=list)
+    mx_records: list[str] = field(default_factory=list)  # mail host names
+
+
+class DNSZone:
+    """The simulation's single flat zone of authoritative data."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, DNSRecordSet] = {}
+        self.queries = 0
+
+    def add_a(self, name: str, address: IPv4Address) -> None:
+        self._records.setdefault(name.lower(), DNSRecordSet()).a_records.append(address)
+
+    def add_mx(self, name: str, mail_host: str) -> None:
+        self._records.setdefault(name.lower(), DNSRecordSet()).mx_records.append(mail_host)
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._records
+
+    def resolve_all(self, name: str) -> list[IPv4Address]:
+        """All A records for a name (raises NXDomainError if absent)."""
+        self.queries += 1
+        record_set = self._records.get(name.lower())
+        if record_set is None or not record_set.a_records:
+            raise NXDomainError(name)
+        return list(record_set.a_records)
+
+    def resolve(self, name: str, rng: DeterministicRandom) -> IPv4Address:
+        """One A record, chosen like a resolver rotating round-robin sets."""
+        return rng.choice(self.resolve_all(name))
+
+    def mx(self, name: str) -> list[str]:
+        """MX hostnames for a name (empty if none)."""
+        self.queries += 1
+        record_set = self._records.get(name.lower())
+        return list(record_set.mx_records) if record_set else []
+
+    def names(self) -> list[str]:
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+__all__ = ["DNSZone", "DNSRecordSet", "NXDomainError"]

@@ -1,0 +1,103 @@
+"""The network fabric: connecting a scanner to simulated endpoints.
+
+An :class:`Endpoint` is what listens on an (IP, port): one or more TLS
+server *processes* behind an optional load balancer.  Balancers without
+client affinity pick a random backend per connection — the source of
+the measurement jitter the paper has to tolerate when estimating STEK
+spans (§4.3).
+
+:class:`Network` routes ``connect()`` calls by IP and injects
+transient failures (timeouts) at a configurable rate, modeling "the
+server failing to respond to one of our connections."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto.rng import DeterministicRandom
+from ..tls.server import TLSServer
+from .address import IPv4Address
+
+HTTPS_PORT = 443
+
+
+class ConnectTimeout(ConnectionError):
+    """The simulated connection attempt failed (no response)."""
+
+
+@dataclass
+class Endpoint:
+    """Servers reachable at one (IP, port).
+
+    ``backends`` share the listening socket; ``affinity=False`` models
+    a load balancer that sprays connections across processes, which is
+    how distinct STEKs/session caches show up behind one IP.
+    """
+
+    ip: IPv4Address
+    port: int = HTTPS_PORT
+    backends: list[TLSServer] = field(default_factory=list)
+    affinity: bool = True
+
+    def add_backend(self, server: TLSServer) -> None:
+        self.backends.append(server)
+
+    def pick_backend(self, rng: DeterministicRandom) -> TLSServer:
+        if not self.backends:
+            raise ConnectTimeout(f"{self.ip}:{self.port} has no live backend")
+        if self.affinity or len(self.backends) == 1:
+            return self.backends[0]
+        return rng.choice(self.backends)
+
+
+class Network:
+    """Routes connections from the scanner to endpoints by IP."""
+
+    def __init__(
+        self,
+        rng: DeterministicRandom,
+        failure_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError("failure rate must be in [0, 1)")
+        self._rng = rng
+        self.failure_rate = failure_rate
+        self._endpoints: dict[tuple[int, int], Endpoint] = {}
+        self.attempts = 0
+        self.failures = 0
+
+    def register(self, endpoint: Endpoint) -> None:
+        key = (endpoint.ip.value, endpoint.port)
+        if key in self._endpoints:
+            raise ValueError(f"endpoint {endpoint.ip}:{endpoint.port} already registered")
+        self._endpoints[key] = endpoint
+
+    def endpoint_at(self, ip: IPv4Address, port: int = HTTPS_PORT) -> Optional[Endpoint]:
+        return self._endpoints.get((ip.value, port))
+
+    def connect(self, ip: IPv4Address, port: int = HTTPS_PORT) -> TLSServer:
+        """Open a connection; returns the backend server process.
+
+        Raises :class:`ConnectTimeout` for unroutable addresses, dead
+        endpoints, and injected transient failures.
+        """
+        self.attempts += 1
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            self.failures += 1
+            raise ConnectTimeout(f"transient failure connecting to {ip}:{port}")
+        endpoint = self._endpoints.get((ip.value, port))
+        if endpoint is None:
+            self.failures += 1
+            raise ConnectTimeout(f"no route to {ip}:{port}")
+        return endpoint.pick_backend(self._rng)
+
+    def endpoints(self) -> list[Endpoint]:
+        return list(self._endpoints.values())
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+
+__all__ = ["Network", "Endpoint", "ConnectTimeout", "HTTPS_PORT"]

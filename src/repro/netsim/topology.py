@@ -1,0 +1,77 @@
+"""Autonomous systems and the AS-level view the scanner uses.
+
+The cross-domain probing experiment (§5.1) samples peer domains "from
+each AS" and "sharing its IP address", so the simulation needs an AS
+registry mapping address space to AS numbers and names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .address import AddressAllocator, CIDRBlock, IPv4Address
+
+
+@dataclass
+class AutonomousSystem:
+    """One AS: number, operator name, and its address blocks."""
+
+    asn: int
+    name: str
+    blocks: list[CIDRBlock] = field(default_factory=list)
+    _allocators: list[AddressAllocator] = field(default_factory=list, repr=False)
+
+    def add_block(self, block: CIDRBlock) -> None:
+        self.blocks.append(block)
+        self._allocators.append(AddressAllocator(block))
+
+    def allocate_address(self) -> IPv4Address:
+        """Allocate the next free address in this AS's space."""
+        for allocator in self._allocators:
+            try:
+                return allocator.allocate()
+            except RuntimeError:
+                continue
+        raise RuntimeError(f"AS{self.asn} ({self.name}) address space exhausted")
+
+    def contains(self, address: IPv4Address) -> bool:
+        return any(block.contains(address) for block in self.blocks)
+
+
+class ASRegistry:
+    """Registry of all ASes with longest-prefix-match style lookup."""
+
+    def __init__(self) -> None:
+        self._by_asn: dict[int, AutonomousSystem] = {}
+
+    def register(self, asn: int, name: str, blocks: list[str]) -> AutonomousSystem:
+        if asn in self._by_asn:
+            raise ValueError(f"AS{asn} already registered")
+        autonomous_system = AutonomousSystem(asn=asn, name=name)
+        for block in blocks:
+            autonomous_system.add_block(CIDRBlock.parse(block))
+        self._by_asn[asn] = autonomous_system
+        return autonomous_system
+
+    def get(self, asn: int) -> AutonomousSystem:
+        return self._by_asn[asn]
+
+    def lookup(self, address: IPv4Address) -> AutonomousSystem | None:
+        """Which AS originates this address? (linear scan; pools are few)"""
+        best: AutonomousSystem | None = None
+        best_prefix = -1
+        for autonomous_system in self._by_asn.values():
+            for block in autonomous_system.blocks:
+                if block.contains(address) and block.prefix > best_prefix:
+                    best = autonomous_system
+                    best_prefix = block.prefix
+        return best
+
+    def all_systems(self) -> list[AutonomousSystem]:
+        return sorted(self._by_asn.values(), key=lambda a: a.asn)
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+
+__all__ = ["AutonomousSystem", "ASRegistry"]

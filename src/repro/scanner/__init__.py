@@ -1,0 +1,40 @@
+"""The ZMap/zgrab-style measurement toolchain."""
+
+from .crossdomain import CrossDomainConfig, ProbeTarget, cross_domain_cache_probe
+from .datastore import IndexStats, ScanIndex
+from .grab import ZGrabber
+from .records import (
+    CrossDomainEdge,
+    ResumptionProbeResult,
+    ScanObservation,
+    read_jsonl,
+    write_jsonl,
+)
+from .resumption import ProbeConfig, resumption_probe
+from .schedule import DailyScanCampaign, SweepConfig, sweep, thirty_minute_scan
+from .study import StudyConfig, StudyDataset, load_dataset, run_study, save_dataset
+
+__all__ = [
+    "ZGrabber",
+    "ScanIndex",
+    "IndexStats",
+    "ScanObservation",
+    "ResumptionProbeResult",
+    "CrossDomainEdge",
+    "read_jsonl",
+    "write_jsonl",
+    "ProbeConfig",
+    "resumption_probe",
+    "SweepConfig",
+    "sweep",
+    "DailyScanCampaign",
+    "thirty_minute_scan",
+    "CrossDomainConfig",
+    "ProbeTarget",
+    "cross_domain_cache_probe",
+    "StudyConfig",
+    "StudyDataset",
+    "run_study",
+    "save_dataset",
+    "load_dataset",
+]

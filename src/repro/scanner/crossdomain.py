@@ -1,0 +1,127 @@
+"""Cross-domain session-cache probing (paper §5.1).
+
+For each domain we establish a session, then offer its session ID to up
+to five other domains in the same AS and up to five sharing one of its
+IP addresses.  A domain that *resumes* a foreign session shares a
+session cache with the origin — servers that don't recognize an ID
+simply fall back to a full handshake, so the probe is harmless and
+false positives are impossible (a forged resumption would fail the
+Finished check against the saved master secret).
+
+The resulting edges feed the union-find in :mod:`repro.core.groups`,
+which grows groups transitively exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto.rng import DeterministicRandom
+from ..netsim.clock import MINUTE
+from ..tls.ciphers import CipherSuite, MODERN_BROWSER_OFFER
+from .grab import ZGrabber
+from .records import CrossDomainEdge
+
+
+@dataclass
+class CrossDomainConfig:
+    """Probe fan-out limits (the paper used five and five)."""
+
+    max_same_as: int = 5
+    max_same_ip: int = 5
+    offer: tuple[CipherSuite, ...] = MODERN_BROWSER_OFFER
+    window_seconds: float = 0.0   # optional pacing across a window
+
+
+@dataclass(frozen=True)
+class ProbeTarget:
+    """Scanner-side knowledge of one domain: where it lives."""
+
+    domain: str
+    ip: str
+    asn: Optional[int]
+
+
+def cross_domain_cache_probe(
+    grabber: ZGrabber,
+    targets: list[ProbeTarget],
+    rng: DeterministicRandom,
+    config: Optional[CrossDomainConfig] = None,
+) -> list[CrossDomainEdge]:
+    """Find session-cache sharing edges among ``targets``."""
+    config = config or CrossDomainConfig()
+    by_ip: dict[str, list[ProbeTarget]] = {}
+    by_as: dict[int, list[ProbeTarget]] = {}
+    for target in targets:
+        by_ip.setdefault(target.ip, []).append(target)
+        if target.asn is not None:
+            by_as.setdefault(target.asn, []).append(target)
+
+    edges: list[CrossDomainEdge] = []
+    ecosystem = grabber.ecosystem
+    step = config.window_seconds / max(len(targets), 1)
+    for origin in targets:
+        if step:
+            ecosystem.advance_to(ecosystem.clock.now() + step)
+        result, _, _ = grabber.connect(
+            origin.domain, offer=config.offer, offer_tickets=False
+        )
+        if result is None or not result.ok or not result.session_id:
+            continue
+        session = result.session
+        session_id = result.session_id
+
+        peers = _pick_peers(origin, by_ip, by_as, rng, config)
+        for peer, same_ip in peers:
+            probe, _, _ = grabber.connect(
+                peer.domain,
+                offer=config.offer,
+                session_id=session_id,
+                saved_session=session,
+                offer_tickets=False,
+            )
+            if probe is not None and probe.ok and probe.resumed_via == "session_id":
+                edges.append(
+                    CrossDomainEdge(
+                        origin=origin.domain,
+                        acceptor=peer.domain,
+                        via_same_ip=same_ip,
+                        via_same_as=not same_ip,
+                    )
+                )
+    return edges
+
+
+def _pick_peers(
+    origin: ProbeTarget,
+    by_ip: dict[str, list[ProbeTarget]],
+    by_as: dict[int, list[ProbeTarget]],
+    rng: DeterministicRandom,
+    config: CrossDomainConfig,
+) -> list[tuple[ProbeTarget, bool]]:
+    """Sample same-IP and same-AS peers, deduplicated, origin excluded."""
+    picked: list[tuple[ProbeTarget, bool]] = []
+    seen = {origin.domain}
+    same_ip_pool = [t for t in by_ip.get(origin.ip, []) if t.domain != origin.domain]
+    for peer in _sample(same_ip_pool, config.max_same_ip, rng):
+        if peer.domain not in seen:
+            seen.add(peer.domain)
+            picked.append((peer, True))
+    if origin.asn is not None:
+        same_as_pool = [
+            t for t in by_as.get(origin.asn, []) if t.domain not in seen
+        ]
+        for peer in _sample(same_as_pool, config.max_same_as, rng):
+            seen.add(peer.domain)
+            picked.append((peer, False))
+    return picked
+
+
+def _sample(pool: list, k: int, rng: DeterministicRandom) -> list:
+    if len(pool) <= k:
+        return list(pool)
+    return rng.sample(pool, k)
+
+
+__all__ = ["CrossDomainConfig", "ProbeTarget", "cross_domain_cache_probe"]

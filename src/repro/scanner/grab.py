@@ -1,0 +1,141 @@
+"""zgrab-style single-connection TLS grabs.
+
+:class:`ZGrabber` wraps DNS resolution, connection routing, the TLS
+client handshake, and record extraction into one call that never
+raises: every failure mode (NXDOMAIN, timeout, handshake failure,
+certificate problems) becomes a :class:`ScanObservation` with
+``success=False`` and an error string — exactly how an Internet-wide
+scanner has to behave.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto.rng import DeterministicRandom
+from ..hosting.ecosystem import Ecosystem
+from ..netsim.dns import NXDomainError
+from ..netsim.network import ConnectTimeout
+from ..tls.ciphers import CipherSuite, MODERN_BROWSER_OFFER
+from ..tls.client import HandshakeResult, TLSClient
+from ..tls.constants import KeyExchangeKind
+from ..tls.session import SessionState
+from ..tls.ticket import sniff_ticket_format, extract_key_name
+from ..tls.wire import DecodeError
+from .records import ScanObservation
+
+_KEX_NAMES = {
+    KeyExchangeKind.RSA: "rsa",
+    KeyExchangeKind.DHE: "dhe",
+    KeyExchangeKind.ECDHE: "ecdhe",
+}
+
+
+class ZGrabber:
+    """A scanning client bound to one ecosystem."""
+
+    def __init__(self, ecosystem: Ecosystem, rng: DeterministicRandom) -> None:
+        self.ecosystem = ecosystem
+        self._rng = rng
+        self.client = TLSClient(
+            rng.fork("tls-client"),
+            ecosystem.trust_store,
+            ecosystem.clock.now,
+            reuse_client_ephemerals=True,
+        )
+        self.grabs = 0
+
+    # -- low-level ---------------------------------------------------------
+
+    def connect(
+        self,
+        domain: str,
+        offer: tuple[CipherSuite, ...] = MODERN_BROWSER_OFFER,
+        session_id: bytes = b"",
+        ticket: bytes = b"",
+        saved_session: Optional[SessionState] = None,
+        offer_tickets: bool = True,
+        capture: bool = False,
+        ip=None,
+        port: int = 443,
+    ) -> tuple[Optional[HandshakeResult], str, str]:
+        """Resolve, route, and handshake.  Returns (result, ip, error).
+
+        ``port`` selects the TLS service (443 HTTPS, 465/993/995 for the
+        mail protocols the §7.2 analysis cross-checks)."""
+        self.grabs += 1
+        try:
+            address = ip if ip is not None else self.ecosystem.dns.resolve(domain, self._rng)
+        except NXDomainError:
+            return None, "", "nxdomain"
+        try:
+            server = self.ecosystem.network.connect(address, port)
+        except ConnectTimeout as exc:
+            return None, str(address), f"connect: {exc}"
+        result = self.client.connect(
+            server,
+            server_name=domain,
+            offer=offer,
+            session_id=session_id,
+            ticket=ticket,
+            saved_session=saved_session,
+            offer_tickets=offer_tickets,
+            capture=capture,
+        )
+        return result, str(address), result.error
+
+    # -- observation construction -------------------------------------------
+
+    def grab(
+        self,
+        domain: str,
+        rank: int = 0,
+        offer: tuple[CipherSuite, ...] = MODERN_BROWSER_OFFER,
+        offer_tickets: bool = True,
+    ) -> ScanObservation:
+        """One fresh-connection grab, recorded as a ScanObservation."""
+        clock = self.ecosystem.clock
+        observation = ScanObservation(
+            domain=domain,
+            day=clock.day_index,
+            timestamp=clock.now(),
+            rank=rank,
+        )
+        result, address, error = self.connect(
+            domain, offer=offer, offer_tickets=offer_tickets
+        )
+        observation.ip = address
+        if result is None or not result.ok:
+            observation.error = error or "handshake failed"
+            return observation
+        self._fill_from_result(observation, result)
+        return observation
+
+    @staticmethod
+    def _fill_from_result(observation: ScanObservation, result: HandshakeResult) -> None:
+        observation.success = True
+        assert result.cipher_suite is not None
+        observation.cipher = result.cipher_suite.name
+        observation.kex_kind = _KEX_NAMES[result.cipher_suite.kex]
+        observation.forward_secret = result.cipher_suite.forward_secret
+        observation.cert_trusted = result.certificate_trusted
+        observation.cert_error = result.certificate_error
+        observation.session_id_set = bool(result.session_id)
+        observation.resumed = result.resumed
+        observation.resumed_via = result.resumed_via
+        observation.ticket_extension = result.server_supports_tickets
+        if result.new_ticket is not None:
+            observation.ticket_issued = True
+            observation.ticket_hint = result.new_ticket.lifetime_hint_seconds
+            ticket = result.new_ticket.ticket
+            try:
+                ticket_format = sniff_ticket_format(ticket)
+                observation.ticket_format = ticket_format.value
+                observation.stek_id = extract_key_name(ticket, ticket_format).hex()
+            except DecodeError:
+                observation.ticket_format = "unknown"
+        if result.server_kex_public:
+            observation.kex_public = result.server_kex_public.hex()
+
+
+__all__ = ["ZGrabber"]

@@ -1,0 +1,292 @@
+"""Orchestration of the full nine-week measurement study.
+
+:func:`run_study` drives every experiment the paper reports against a
+synthetic ecosystem, on one virtual timeline:
+
+* daily single-connection sweeps with three cipher offers — modern
+  (ticket/STEK tracking), DHE-only, and ECDHE-first (§4.3, §4.4);
+* 10-connection support scans in a six-hour window plus 30-minute
+  single-connection scans (Table 1, §5.2, §5.3);
+* 24-hour session-ID and session-ticket resumption probes (§4.1, §4.2);
+* the cross-domain session-cache probe (§5.1).
+
+The result is a :class:`StudyDataset` of pure scan records — the
+analysis layer never sees the simulation's internals.  Datasets
+serialize to a directory of JSONL files so expensive scans can be
+reused across benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto.rng import DeterministicRandom
+from ..hosting.ecosystem import Ecosystem
+from ..netsim.clock import DAY, HOUR
+from ..tls.ciphers import DHE_ONLY_OFFER, ECDHE_FIRST_OFFER, MODERN_BROWSER_OFFER
+from .crossdomain import CrossDomainConfig, ProbeTarget, cross_domain_cache_probe
+from .grab import ZGrabber
+from .records import (
+    CrossDomainEdge,
+    ResumptionProbeResult,
+    ScanObservation,
+    read_jsonl,
+    write_jsonl,
+)
+from .resumption import ProbeConfig, resumption_probe
+from .schedule import DailyScanCampaign, SweepConfig, sweep, thirty_minute_scan
+
+
+@dataclass
+class StudyConfig:
+    """Which experiments run, and when, within the study window."""
+
+    days: int = 63
+    seed: int = 101
+    probe_domain_count: int = 400      # top-ranked domains for 24 h probes
+    support_scan_connections: int = 10
+    support_scan_window: float = 6 * HOUR
+    dhe_support_day: int = 43          # paper: April 14, 2016
+    ecdhe_support_day: int = 44        # April 15
+    ticket_support_day: int = 46       # April 17
+    crossdomain_day: int = 50
+    session_probe_day: int = 56        # April 27
+    ticket_probe_day: int = 58         # April 29
+    run_probes: bool = True
+    run_crossdomain: bool = True
+    run_support_scans: bool = True
+
+
+@dataclass
+class StudyDataset:
+    """Everything the nine-week study observed."""
+
+    days: int
+    day0_list: list[tuple[int, str]] = field(default_factory=list)
+    always_present: list[str] = field(default_factory=list)
+    ranks: dict[str, int] = field(default_factory=dict)
+    # Daily longitudinal sweeps.
+    ticket_daily: list[ScanObservation] = field(default_factory=list)
+    dhe_daily: list[ScanObservation] = field(default_factory=list)
+    ecdhe_daily: list[ScanObservation] = field(default_factory=list)
+    # 10-connection support scans + 30-minute single scans.
+    ticket_support: list[ScanObservation] = field(default_factory=list)
+    dhe_support: list[ScanObservation] = field(default_factory=list)
+    ecdhe_support: list[ScanObservation] = field(default_factory=list)
+    ticket_30min: list[ScanObservation] = field(default_factory=list)
+    dhe_30min: list[ScanObservation] = field(default_factory=list)
+    ecdhe_30min: list[ScanObservation] = field(default_factory=list)
+    # 24-hour resumption probes.
+    session_probes: list[ResumptionProbeResult] = field(default_factory=list)
+    ticket_probes: list[ResumptionProbeResult] = field(default_factory=list)
+    # Cross-domain cache edges.
+    cache_edges: list[CrossDomainEdge] = field(default_factory=list)
+    crossdomain_targets: list[str] = field(default_factory=list)
+    # Scanner-side AS knowledge (domain -> asn), from "whois" lookups.
+    domain_asn: dict[str, int] = field(default_factory=dict)
+    domain_ip: dict[str, str] = field(default_factory=dict)
+    as_names: dict[int, str] = field(default_factory=dict)
+    # Bookkeeping for Table 1: list size and post-blacklist size on the
+    # day each support scan ran, keyed by scan label.
+    list_sizes: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+
+def run_study(
+    ecosystem: Ecosystem,
+    config: Optional[StudyConfig] = None,
+    progress=None,
+) -> StudyDataset:
+    """Run the full measurement study against ``ecosystem``."""
+    config = config or StudyConfig()
+    rng = DeterministicRandom(config.seed)
+    grabber = ZGrabber(ecosystem, rng.fork("grabber"))
+    dataset = StudyDataset(days=config.days)
+    dataset.day0_list = ecosystem.alexa_list(0)
+
+    ticket_campaign = DailyScanCampaign(
+        grabber, offer=MODERN_BROWSER_OFFER, window_seconds=2 * HOUR, label="ticket"
+    )
+    dhe_campaign = DailyScanCampaign(
+        grabber, offer=DHE_ONLY_OFFER, window_seconds=1.5 * HOUR,
+        offer_tickets=False, label="dhe",
+    )
+    ecdhe_campaign = DailyScanCampaign(
+        grabber, offer=ECDHE_FIRST_OFFER, window_seconds=1.5 * HOUR,
+        offer_tickets=False, label="ecdhe",
+    )
+
+    for day in range(config.days):
+        day_start = day * DAY
+        if ecosystem.clock.now() < day_start:
+            ecosystem.advance_to(day_start)
+        if progress is not None:
+            progress(day, config.days)
+
+        full_list = ecosystem.alexa_list()
+        today = [(r, n) for r, n in full_list if n not in ecosystem.blacklist]
+        for rank, name in today:
+            dataset.ranks.setdefault(name, rank)
+        ticket_campaign.run_day(today)
+        dhe_campaign.run_day(today)
+        ecdhe_campaign.run_day(today)
+
+        if config.run_support_scans and day == config.dhe_support_day:
+            dataset.list_sizes["dhe"] = (len(full_list), len(today))
+            dataset.dhe_support = sweep(grabber, today, SweepConfig(
+                offer=DHE_ONLY_OFFER, offer_tickets=False,
+                connections_per_domain=config.support_scan_connections,
+                window_seconds=5 * HOUR, label="dhe-support",
+            ))
+            dataset.dhe_30min = thirty_minute_scan(grabber, today, DHE_ONLY_OFFER)
+        if config.run_support_scans and day == config.ecdhe_support_day:
+            dataset.list_sizes["ecdhe"] = (len(full_list), len(today))
+            dataset.ecdhe_support = sweep(grabber, today, SweepConfig(
+                offer=ECDHE_FIRST_OFFER, offer_tickets=False,
+                connections_per_domain=config.support_scan_connections,
+                window_seconds=5 * HOUR, label="ecdhe-support",
+            ))
+            dataset.ecdhe_30min = thirty_minute_scan(grabber, today, ECDHE_FIRST_OFFER)
+        if config.run_support_scans and day == config.ticket_support_day:
+            dataset.list_sizes["ticket"] = (len(full_list), len(today))
+            dataset.ticket_support = sweep(grabber, today, SweepConfig(
+                offer=MODERN_BROWSER_OFFER,
+                connections_per_domain=config.support_scan_connections,
+                window_seconds=config.support_scan_window, label="ticket-support",
+            ))
+            dataset.ticket_30min = thirty_minute_scan(grabber, today)
+
+        if config.run_crossdomain and day == config.crossdomain_day:
+            _run_crossdomain(ecosystem, grabber, rng, dataset, today)
+
+        if config.run_probes and day == config.session_probe_day:
+            targets = today[: config.probe_domain_count]
+            dataset.session_probes = resumption_probe(
+                grabber, targets, ProbeConfig(mechanism="session_id")
+            )
+        if config.run_probes and day == config.ticket_probe_day:
+            targets = today[: config.probe_domain_count]
+            dataset.ticket_probes = resumption_probe(
+                grabber, targets, ProbeConfig(mechanism="ticket")
+            )
+
+    for autonomous_system in ecosystem.as_registry.all_systems():
+        dataset.as_names[autonomous_system.asn] = autonomous_system.name
+    if not dataset.domain_asn:
+        for rank, name in ecosystem.alexa_list():
+            try:
+                addresses = ecosystem.dns.resolve_all(name)
+            except KeyError:
+                continue
+            autonomous_system = ecosystem.as_registry.lookup(addresses[0])
+            if autonomous_system is not None:
+                dataset.domain_asn[name] = autonomous_system.asn
+            dataset.domain_ip[name] = str(addresses[0])
+
+    dataset.ticket_daily = ticket_campaign.observations
+    dataset.dhe_daily = dhe_campaign.observations
+    dataset.ecdhe_daily = ecdhe_campaign.observations
+    # A probe scheduled late in the study may run past the nominal end;
+    # only advance if the clock is still behind it.
+    if ecosystem.clock.now() < config.days * DAY:
+        ecosystem.advance_to(config.days * DAY)
+    dataset.always_present = [
+        d.name for d in ecosystem.always_present_domains(config.days - 1)
+    ]
+    return dataset
+
+
+def _run_crossdomain(
+    ecosystem: Ecosystem,
+    grabber: ZGrabber,
+    rng: DeterministicRandom,
+    dataset: StudyDataset,
+    today: list[tuple[int, str]],
+) -> None:
+    """Build probe targets from observed IPs + whois, then probe."""
+    targets = []
+    for rank, name in today:
+        try:
+            addresses = ecosystem.dns.resolve_all(name)
+        except KeyError:
+            continue
+        ip = addresses[0]
+        autonomous_system = ecosystem.as_registry.lookup(ip)
+        asn = autonomous_system.asn if autonomous_system else None
+        targets.append(ProbeTarget(domain=name, ip=str(ip), asn=asn))
+        dataset.domain_ip[name] = str(ip)
+        if asn is not None:
+            dataset.domain_asn[name] = asn
+    dataset.crossdomain_targets = [t.domain for t in targets]
+    dataset.cache_edges = cross_domain_cache_probe(
+        grabber, targets, rng.fork("crossdomain"), CrossDomainConfig()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dataset persistence (JSONL directory)
+# ---------------------------------------------------------------------------
+
+_OBSERVATION_FIELDS = (
+    "ticket_daily", "dhe_daily", "ecdhe_daily",
+    "ticket_support", "dhe_support", "ecdhe_support",
+    "ticket_30min", "dhe_30min", "ecdhe_30min",
+)
+
+
+def save_dataset(dataset: StudyDataset, directory: str) -> None:
+    """Persist a dataset as JSONL files plus a meta.json."""
+    os.makedirs(directory, exist_ok=True)
+    for name in _OBSERVATION_FIELDS:
+        write_jsonl(os.path.join(directory, f"{name}.jsonl"), getattr(dataset, name))
+    write_jsonl(os.path.join(directory, "session_probes.jsonl"), dataset.session_probes)
+    write_jsonl(os.path.join(directory, "ticket_probes.jsonl"), dataset.ticket_probes)
+    write_jsonl(os.path.join(directory, "cache_edges.jsonl"), dataset.cache_edges)
+    meta = {
+        "days": dataset.days,
+        "day0_list": dataset.day0_list,
+        "always_present": dataset.always_present,
+        "ranks": dataset.ranks,
+        "crossdomain_targets": dataset.crossdomain_targets,
+        "domain_asn": dataset.domain_asn,
+        "domain_ip": dataset.domain_ip,
+        "as_names": dataset.as_names,
+        "list_sizes": dataset.list_sizes,
+    }
+    with open(os.path.join(directory, "meta.json"), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh)
+
+
+def load_dataset(directory: str) -> StudyDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    with open(os.path.join(directory, "meta.json"), "r", encoding="utf-8") as fh:
+        meta = json.load(fh)
+    dataset = StudyDataset(days=meta["days"])
+    dataset.day0_list = [tuple(item) for item in meta["day0_list"]]
+    dataset.always_present = meta["always_present"]
+    dataset.ranks = meta["ranks"]
+    dataset.crossdomain_targets = meta["crossdomain_targets"]
+    dataset.domain_asn = meta["domain_asn"]
+    dataset.domain_ip = meta["domain_ip"]
+    dataset.as_names = {int(k): v for k, v in meta.get("as_names", {}).items()}
+    dataset.list_sizes = {
+        k: tuple(v) for k, v in meta.get("list_sizes", {}).items()
+    }
+    for name in _OBSERVATION_FIELDS:
+        path = os.path.join(directory, f"{name}.jsonl")
+        setattr(dataset, name, list(read_jsonl(path, ScanObservation)))
+    dataset.session_probes = list(
+        read_jsonl(os.path.join(directory, "session_probes.jsonl"), ResumptionProbeResult)
+    )
+    dataset.ticket_probes = list(
+        read_jsonl(os.path.join(directory, "ticket_probes.jsonl"), ResumptionProbeResult)
+    )
+    dataset.cache_edges = list(
+        read_jsonl(os.path.join(directory, "cache_edges.jsonl"), CrossDomainEdge)
+    )
+    return dataset
+
+
+__all__ = ["StudyConfig", "StudyDataset", "run_study", "save_dataset", "load_dataset"]

@@ -1,0 +1,53 @@
+"""A from-scratch TLS 1.2 protocol model with the paper's crypto shortcuts.
+
+The public surface:
+
+* :class:`~repro.tls.server.TLSServer` / :class:`~repro.tls.server.ServerConfig`
+  — a server process with configurable session cache, STEK store,
+  ticket policy, and (EC)DHE reuse policy.
+* :class:`~repro.tls.client.TLSClient` — the scanning client.
+* :mod:`repro.tls.ticket` — RFC 5077 tickets and STEKs.
+* :mod:`repro.tls.session` — session state and shared session caches.
+"""
+
+from .ciphers import (
+    ALL_SUITES,
+    DHE_ONLY_OFFER,
+    ECDHE_FIRST_OFFER,
+    MODERN_BROWSER_OFFER,
+    CipherSuite,
+)
+from .client import HandshakeResult, TLSClient
+from .constants import KeyExchangeKind, ProtocolVersion
+from .errors import CertificateError, HandshakeFailure, TLSError
+from .keyexchange import KexReusePolicy, ReuseMode
+from .server import ServerConfig, TLSServer, TicketPolicy
+from .session import SessionCache, SessionState
+from .ticket import STEK, STEKStore, TicketFormat, extract_key_name, generate_stek
+
+__all__ = [
+    "ALL_SUITES",
+    "MODERN_BROWSER_OFFER",
+    "DHE_ONLY_OFFER",
+    "ECDHE_FIRST_OFFER",
+    "CipherSuite",
+    "TLSClient",
+    "HandshakeResult",
+    "KeyExchangeKind",
+    "ProtocolVersion",
+    "TLSError",
+    "HandshakeFailure",
+    "CertificateError",
+    "KexReusePolicy",
+    "ReuseMode",
+    "TLSServer",
+    "ServerConfig",
+    "TicketPolicy",
+    "SessionCache",
+    "SessionState",
+    "STEK",
+    "STEKStore",
+    "TicketFormat",
+    "generate_stek",
+    "extract_key_name",
+]

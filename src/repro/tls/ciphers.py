@@ -1,0 +1,133 @@
+"""Cipher-suite registry.
+
+Each suite records its IANA codepoint, key-exchange family, bulk-cipher
+key size, and human name.  The study's central distinction is whether
+the key exchange is forward secret (DHE/ECDHE) or not (static RSA), so
+suites carry that bit explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import KeyExchangeKind
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """A negotiable TLS cipher suite."""
+
+    code: int
+    name: str
+    kex: KeyExchangeKind
+    key_bytes: int
+    mac_key_bytes: int = 32
+
+    @property
+    def forward_secret(self) -> bool:
+        """Whether the key exchange is nominally forward secret."""
+        return self.kex in (KeyExchangeKind.DHE, KeyExchangeKind.ECDHE)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+TLS_RSA_WITH_AES_128_CBC_SHA = CipherSuite(
+    0x002F, "TLS_RSA_WITH_AES_128_CBC_SHA", KeyExchangeKind.RSA, 16
+)
+TLS_RSA_WITH_AES_256_CBC_SHA = CipherSuite(
+    0x0035, "TLS_RSA_WITH_AES_256_CBC_SHA", KeyExchangeKind.RSA, 32
+)
+TLS_DHE_RSA_WITH_AES_128_CBC_SHA = CipherSuite(
+    0x0033, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA", KeyExchangeKind.DHE, 16
+)
+TLS_DHE_RSA_WITH_AES_256_CBC_SHA = CipherSuite(
+    0x0039, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA", KeyExchangeKind.DHE, 32
+)
+TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA = CipherSuite(
+    0xC013, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA", KeyExchangeKind.ECDHE, 16
+)
+TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA = CipherSuite(
+    0xC014, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA", KeyExchangeKind.ECDHE, 32
+)
+TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 = CipherSuite(
+    0xC02F, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", KeyExchangeKind.ECDHE, 16
+)
+
+ALL_SUITES = (
+    TLS_RSA_WITH_AES_128_CBC_SHA,
+    TLS_RSA_WITH_AES_256_CBC_SHA,
+    TLS_DHE_RSA_WITH_AES_128_CBC_SHA,
+    TLS_DHE_RSA_WITH_AES_256_CBC_SHA,
+    TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA,
+    TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA,
+    TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+)
+
+SUITES_BY_CODE = {suite.code: suite for suite in ALL_SUITES}
+SUITES_BY_NAME = {suite.name: suite for suite in ALL_SUITES}
+
+RSA_SUITES = tuple(s for s in ALL_SUITES if s.kex == KeyExchangeKind.RSA)
+DHE_SUITES = tuple(s for s in ALL_SUITES if s.kex == KeyExchangeKind.DHE)
+ECDHE_SUITES = tuple(s for s in ALL_SUITES if s.kex == KeyExchangeKind.ECDHE)
+
+# The scanner's "modern browser" offer: ECDHE first, then DHE, then RSA —
+# mirroring contemporary Chrome/Firefox preference order.
+MODERN_BROWSER_OFFER = (
+    TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+    TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA,
+    TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA,
+    TLS_DHE_RSA_WITH_AES_128_CBC_SHA,
+    TLS_DHE_RSA_WITH_AES_256_CBC_SHA,
+    TLS_RSA_WITH_AES_128_CBC_SHA,
+    TLS_RSA_WITH_AES_256_CBC_SHA,
+)
+
+# The paper's special-purpose scan offers (§4.4): DHE-only, and
+# ECDHE-first-with-RSA-fallback.
+DHE_ONLY_OFFER = DHE_SUITES
+ECDHE_FIRST_OFFER = ECDHE_SUITES + RSA_SUITES
+
+
+def select_suite(
+    client_offer: tuple[CipherSuite, ...] | list[CipherSuite],
+    server_supported: tuple[CipherSuite, ...] | list[CipherSuite],
+    server_preference: bool = True,
+) -> CipherSuite | None:
+    """Negotiate a suite, honoring server preference order like OpenSSL.
+
+    Returns ``None`` when there is no overlap (handshake failure).
+    """
+    client_codes = {suite.code for suite in client_offer}
+    if server_preference:
+        for suite in server_supported:
+            if suite.code in client_codes:
+                return suite
+        return None
+    server_codes = {suite.code for suite in server_supported}
+    for suite in client_offer:
+        if suite.code in server_codes:
+            return suite
+    return None
+
+
+__all__ = [
+    "CipherSuite",
+    "ALL_SUITES",
+    "SUITES_BY_CODE",
+    "SUITES_BY_NAME",
+    "RSA_SUITES",
+    "DHE_SUITES",
+    "ECDHE_SUITES",
+    "MODERN_BROWSER_OFFER",
+    "DHE_ONLY_OFFER",
+    "ECDHE_FIRST_OFFER",
+    "select_suite",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_DHE_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_DHE_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+]

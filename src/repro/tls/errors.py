@@ -1,0 +1,33 @@
+"""TLS error taxonomy shared by client, server, and scanner."""
+
+from __future__ import annotations
+
+from .constants import AlertDescription, AlertLevel
+
+
+class TLSError(Exception):
+    """Base class for all TLS-layer failures."""
+
+
+class HandshakeFailure(TLSError):
+    """The handshake could not complete (no common cipher, bad state…)."""
+
+    def __init__(self, message: str, alert: AlertDescription = AlertDescription.HANDSHAKE_FAILURE):
+        super().__init__(message)
+        self.alert = alert
+
+
+class CertificateError(TLSError):
+    """The presented certificate failed client-side validation."""
+
+
+class AlertReceived(TLSError):
+    """The peer sent a fatal alert."""
+
+    def __init__(self, level: AlertLevel, description: AlertDescription):
+        super().__init__(f"alert {description.name} (level {level.name})")
+        self.level = level
+        self.description = description
+
+
+__all__ = ["TLSError", "HandshakeFailure", "CertificateError", "AlertReceived"]

@@ -1,0 +1,297 @@
+"""RFC 5077 session tickets and session-ticket encryption keys (STEKs).
+
+The ticket construction follows RFC 5077 §4's recommended structure:
+
+    struct {
+        opaque key_name[16];
+        opaque iv[16];
+        opaque encrypted_state<0..2^16-1>;   // AES-128-CBC
+        opaque mac[32];                       // HMAC-SHA-256
+    } ticket;
+
+The 16-byte ``key_name`` is the *STEK identifier* the paper's scanner
+extracts to infer STEK lifetimes (§4.3): it is visible in the clear,
+stable for as long as the server keeps using the same STEK, and rotates
+exactly when the key does.  mbedTLS's 4-byte identifier and SChannel's
+DPAPI-GUID framing are modeled as alternative formats so the scanner's
+format sniffing is exercised.
+
+Crucially, tickets here are *really encrypted*: an attacker object that
+steals the STEK decrypts recorded tickets and recovers master secrets,
+which is the paper's §6.1/§7 threat made executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..crypto.mac import constant_time_equal, hmac_sha256
+from ..crypto.modes import PaddingError, cbc_decrypt, cbc_encrypt
+from ..crypto.rng import DeterministicRandom
+from .ciphers import SUITES_BY_CODE
+from .constants import ProtocolVersion
+from .session import SessionState
+from .wire import ByteReader, ByteWriter, DecodeError
+
+
+class TicketFormat(Enum):
+    """On-the-wire ticket framings seen across implementations."""
+
+    RFC5077 = "rfc5077"      # 16-byte key_name (OpenSSL, NSS, GnuTLS, LibreSSL)
+    MBEDTLS = "mbedtls"      # 4-byte key_name
+    SCHANNEL = "schannel"    # DPAPI-wrapped blob with a 16-byte master-key GUID
+
+
+_KEY_NAME_LENGTH = {
+    TicketFormat.RFC5077: 16,
+    TicketFormat.MBEDTLS: 4,
+    TicketFormat.SCHANNEL: 16,
+}
+
+_SCHANNEL_HEADER = b"\x30\x82DPAPI"  # stand-in for the ASN.1 DPAPI wrapper
+
+
+@dataclass(frozen=True)
+class STEK:
+    """A session-ticket encryption key bundle.
+
+    Real deployments either read 48 bytes from a key file (Apache 2.4 /
+    Nginx 1.5.7 ``ssl_session_ticket_key``: 16-byte name + 16-byte AES
+    key + 16-byte HMAC key, which we widen to 32 for HMAC-SHA-256) or
+    generate one at process start.
+    """
+
+    key_name: bytes
+    aes_key: bytes
+    hmac_key: bytes
+    created_at: float
+
+    def __post_init__(self) -> None:
+        if len(self.aes_key) != 16:
+            raise ValueError("STEK AES key must be 16 bytes (AES-128)")
+        if len(self.hmac_key) != 32:
+            raise ValueError("STEK HMAC key must be 32 bytes")
+
+
+def generate_stek(
+    rng: DeterministicRandom,
+    now: float,
+    key_name_length: int = 16,
+) -> STEK:
+    """Generate a random STEK (what servers do at process start)."""
+    return STEK(
+        key_name=rng.random_bytes(key_name_length),
+        aes_key=rng.random_bytes(16),
+        hmac_key=rng.random_bytes(32),
+        created_at=now,
+    )
+
+
+@dataclass(frozen=True)
+class TicketContents:
+    """What a ticket decrypts to: the session plus issuance metadata."""
+
+    session: SessionState
+    issued_at: float
+
+
+def _encode_state(session: SessionState, issued_at: float) -> bytes:
+    writer = ByteWriter()
+    writer.u16(session.version)
+    writer.u16(session.cipher_suite.code)
+    writer.raw(session.master_secret)
+    writer.u32(int(session.created_at))
+    writer.u32(int(issued_at))
+    writer.vec16(session.domain.encode("ascii"))
+    return writer.getvalue()
+
+
+def _decode_state(plaintext: bytes) -> TicketContents:
+    reader = ByteReader(plaintext)
+    version = ProtocolVersion(reader.u16())
+    code = reader.u16()
+    suite = SUITES_BY_CODE.get(code)
+    if suite is None:
+        raise DecodeError(f"ticket references unknown cipher {code:#06x}")
+    master = reader.raw(48)
+    created_at = float(reader.u32())
+    issued_at = float(reader.u32())
+    domain = reader.vec16().decode("ascii")
+    reader.expect_end()
+    session = SessionState(
+        master_secret=master,
+        cipher_suite=suite,
+        version=version,
+        created_at=created_at,
+        domain=domain,
+    )
+    return TicketContents(session=session, issued_at=issued_at)
+
+
+def seal_ticket(
+    stek: STEK,
+    session: SessionState,
+    rng: DeterministicRandom,
+    ticket_format: TicketFormat = TicketFormat.RFC5077,
+    issued_at: float | None = None,
+) -> bytes:
+    """Encrypt session state into a ticket under ``stek``."""
+    expected_name_len = _KEY_NAME_LENGTH[ticket_format]
+    if len(stek.key_name) != expected_name_len:
+        raise ValueError(
+            f"{ticket_format.value} tickets need a {expected_name_len}-byte key name"
+        )
+    if issued_at is None:
+        issued_at = session.created_at
+    iv = rng.random_bytes(16)
+    encrypted = cbc_encrypt(stek.aes_key, iv, _encode_state(session, issued_at))
+    writer = ByteWriter()
+    if ticket_format is TicketFormat.SCHANNEL:
+        writer.raw(_SCHANNEL_HEADER)
+    writer.raw(stek.key_name)
+    writer.raw(iv)
+    writer.vec16(encrypted)
+    mac = hmac_sha256(stek.hmac_key, stek.key_name + iv + encrypted)
+    writer.raw(mac)
+    return writer.getvalue()
+
+
+def extract_key_name(ticket: bytes, ticket_format: TicketFormat) -> bytes:
+    """Read the cleartext STEK identifier out of a ticket.
+
+    This is the scanner-side primitive behind the paper's §4.3 STEK
+    lifetime measurement: no keys are needed, only the framing.
+    """
+    reader = ByteReader(ticket)
+    if ticket_format is TicketFormat.SCHANNEL:
+        header = reader.raw(len(_SCHANNEL_HEADER))
+        if header != _SCHANNEL_HEADER:
+            raise DecodeError("missing SChannel DPAPI header")
+    return reader.raw(_KEY_NAME_LENGTH[ticket_format])
+
+
+def sniff_ticket_format(ticket: bytes) -> TicketFormat:
+    """Guess a ticket's framing from its structure.
+
+    SChannel blobs carry a distinctive header; otherwise we try the
+    RFC 5077 16-byte layout and fall back to mbedTLS's 4-byte one by
+    checking which layout's length bookkeeping is self-consistent.
+    """
+    if ticket.startswith(_SCHANNEL_HEADER):
+        return TicketFormat.SCHANNEL
+    for candidate in (TicketFormat.RFC5077, TicketFormat.MBEDTLS):
+        name_len = _KEY_NAME_LENGTH[candidate]
+        # layout: name | iv(16) | len(2) | enc | mac(32)
+        if len(ticket) < name_len + 16 + 2 + 32:
+            continue
+        enc_len = int.from_bytes(ticket[name_len + 16 : name_len + 18], "big")
+        if name_len + 16 + 2 + enc_len + 32 == len(ticket) and enc_len % 16 == 0:
+            return candidate
+    raise DecodeError("unrecognized ticket format")
+
+
+def open_ticket(
+    stek: STEK,
+    ticket: bytes,
+    ticket_format: TicketFormat = TicketFormat.RFC5077,
+) -> Optional[TicketContents]:
+    """Authenticate and decrypt a ticket; None if not sealed by ``stek``.
+
+    Verifies the key name, the HMAC, and the padding before returning
+    state — the same checks a careful server performs, and the same
+    operation an attacker performs with a *stolen* STEK.
+    """
+    try:
+        reader = ByteReader(ticket)
+        if ticket_format is TicketFormat.SCHANNEL:
+            if reader.raw(len(_SCHANNEL_HEADER)) != _SCHANNEL_HEADER:
+                return None
+        key_name = reader.raw(_KEY_NAME_LENGTH[ticket_format])
+        if key_name != stek.key_name:
+            return None
+        iv = reader.raw(16)
+        encrypted = reader.vec16()
+        mac = reader.raw(32)
+        reader.expect_end()
+    except DecodeError:
+        return None
+    expected = hmac_sha256(stek.hmac_key, key_name + iv + encrypted)
+    if not constant_time_equal(mac, expected):
+        return None
+    try:
+        plaintext = cbc_decrypt(stek.aes_key, iv, encrypted)
+        return _decode_state(plaintext)
+    except (PaddingError, DecodeError, ValueError):
+        return None
+
+
+class STEKStore:
+    """Holds the issuing STEK plus previously issued keys still accepted.
+
+    ``retain`` previous keys are kept so tickets sealed shortly before a
+    rotation still resume (Google's observed 14-hour rotation with a
+    28-hour acceptance window corresponds to ``retain=1``).  The store
+    is shareable across servers/domains, which is the §5.2 cross-domain
+    STEK sharing mechanism.
+    """
+
+    def __init__(
+        self,
+        initial: STEK,
+        ticket_format: TicketFormat = TicketFormat.RFC5077,
+        retain: int = 1,
+    ) -> None:
+        if retain < 0:
+            raise ValueError("retain must be non-negative")
+        self.ticket_format = ticket_format
+        self.retain = retain
+        self._current = initial
+        self._previous: list[STEK] = []
+        self.issued_count = 0
+        self.opened_count = 0
+
+    @property
+    def current(self) -> STEK:
+        return self._current
+
+    @property
+    def all_keys(self) -> list[STEK]:
+        """Current plus retained previous keys — the full theft surface."""
+        return [self._current] + list(self._previous)
+
+    def rotate(self, new_stek: STEK) -> None:
+        """Install a new issuing key, retiring the old one into history."""
+        self._previous.insert(0, self._current)
+        del self._previous[self.retain :]
+        self._current = new_stek
+
+    def issue(
+        self, session: SessionState, rng: DeterministicRandom, now: float | None = None
+    ) -> bytes:
+        """Seal a ticket under the current issuing key."""
+        self.issued_count += 1
+        return seal_ticket(self._current, session, rng, self.ticket_format, issued_at=now)
+
+    def open(self, ticket: bytes) -> Optional[TicketContents]:
+        """Try current and retained keys in order."""
+        for stek in self.all_keys:
+            contents = open_ticket(stek, ticket, self.ticket_format)
+            if contents is not None:
+                self.opened_count += 1
+                return contents
+        return None
+
+
+__all__ = [
+    "STEK",
+    "STEKStore",
+    "TicketContents",
+    "TicketFormat",
+    "generate_stek",
+    "seal_ticket",
+    "open_ticket",
+    "extract_key_name",
+    "sniff_ticket_format",
+]

@@ -1,0 +1,9 @@
+"""Byte-level TLS encoding — re-exported from :mod:`repro.wireformat`.
+
+The codec lives at the package root so both :mod:`repro.tls` and
+:mod:`repro.x509` can use it without a circular import.
+"""
+
+from ..wireformat import ByteReader, ByteWriter, DecodeError
+
+__all__ = ["ByteWriter", "ByteReader", "DecodeError"]

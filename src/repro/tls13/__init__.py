@@ -1,0 +1,23 @@
+"""TLS 1.3 (draft-15) PSK resumption and 0-RTT exposure model (§2.4, §8.1)."""
+
+from .psk import (
+    DRAFT15_MAX_PSK_LIFETIME,
+    Psk,
+    PskIssuer,
+    PskMode,
+    ResumedConnectionKeys,
+    attacker_recover_keys,
+    derive_resumption_secret,
+    resume,
+)
+
+__all__ = [
+    "DRAFT15_MAX_PSK_LIFETIME",
+    "Psk",
+    "PskIssuer",
+    "PskMode",
+    "ResumedConnectionKeys",
+    "attacker_recover_keys",
+    "derive_resumption_secret",
+    "resume",
+]

@@ -1,0 +1,125 @@
+"""Byte-level encoding helpers for TLS and certificate structures.
+
+TLS (RFC 5246 §4) encodes integers big-endian and length-prefixes
+variable vectors with 1-, 2-, or 3-byte lengths.  :class:`ByteWriter`
+and :class:`ByteReader` implement exactly those primitives; every
+handshake message in :mod:`repro.tls.messages` round-trips through
+them, so the scanner parses real bytes rather than passing Python
+objects around.
+"""
+
+from __future__ import annotations
+
+
+class DecodeError(ValueError):
+    """Raised when a TLS structure cannot be parsed."""
+
+
+class ByteWriter:
+    """Accumulates big-endian TLS wire data."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def u8(self, value: int) -> "ByteWriter":
+        if not 0 <= value < 1 << 8:
+            raise ValueError("u8 out of range")
+        self._buf.append(value)
+        return self
+
+    def u16(self, value: int) -> "ByteWriter":
+        if not 0 <= value < 1 << 16:
+            raise ValueError("u16 out of range")
+        self._buf.extend(value.to_bytes(2, "big"))
+        return self
+
+    def u24(self, value: int) -> "ByteWriter":
+        if not 0 <= value < 1 << 24:
+            raise ValueError("u24 out of range")
+        self._buf.extend(value.to_bytes(3, "big"))
+        return self
+
+    def u32(self, value: int) -> "ByteWriter":
+        if not 0 <= value < 1 << 32:
+            raise ValueError("u32 out of range")
+        self._buf.extend(value.to_bytes(4, "big"))
+        return self
+
+    def raw(self, data: bytes) -> "ByteWriter":
+        self._buf.extend(data)
+        return self
+
+    def vec8(self, data: bytes) -> "ByteWriter":
+        """opaque data<0..2^8-1>"""
+        self.u8(len(data))
+        return self.raw(data)
+
+    def vec16(self, data: bytes) -> "ByteWriter":
+        """opaque data<0..2^16-1>"""
+        self.u16(len(data))
+        return self.raw(data)
+
+    def vec24(self, data: bytes) -> "ByteWriter":
+        """opaque data<0..2^24-1>"""
+        self.u24(len(data))
+        return self.raw(data)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class ByteReader:
+    """Consumes big-endian TLS wire data with strict bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def _take(self, n: int) -> bytes:
+        if n < 0 or self.remaining < n:
+            raise DecodeError(f"truncated: wanted {n} bytes, have {self.remaining}")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return int.from_bytes(self._take(2), "big")
+
+    def u24(self) -> int:
+        return int.from_bytes(self._take(3), "big")
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def raw(self, n: int) -> bytes:
+        return self._take(n)
+
+    def vec8(self) -> bytes:
+        return self._take(self.u8())
+
+    def vec16(self) -> bytes:
+        return self._take(self.u16())
+
+    def vec24(self) -> bytes:
+        return self._take(self.u24())
+
+    def rest(self) -> bytes:
+        return self._take(self.remaining)
+
+    def expect_end(self) -> None:
+        """Raise unless the whole input was consumed (strict parsing)."""
+        if self.remaining:
+            raise DecodeError(f"{self.remaining} trailing bytes")
+
+
+__all__ = ["ByteWriter", "ByteReader", "DecodeError"]

@@ -1,0 +1,17 @@
+"""Simplified X.509 certificate model and NSS-like trust store."""
+
+from .certificate import (
+    CertificateAuthority,
+    CertificateData,
+    TrustStore,
+    ValidationResult,
+    X509Certificate,
+)
+
+__all__ = [
+    "CertificateAuthority",
+    "CertificateData",
+    "TrustStore",
+    "ValidationResult",
+    "X509Certificate",
+]

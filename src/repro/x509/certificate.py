@@ -1,0 +1,219 @@
+"""Simplified X.509-like certificates for the simulated PKI.
+
+The study restricts analysis to domains presenting *browser-trusted*
+certificates (chaining to the NSS root store).  To preserve that
+filtering step the simulated servers present certificates signed by
+simulated CAs, and the scanner verifies signatures, validity windows,
+and hostname matches against a root store.
+
+Certificates use a compact TLV serialization rather than ASN.1 DER —
+nothing here interoperates with external tooling, and the structure
+(subject names, issuer, serial, validity, key, signature) is what the
+measurement logic consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..crypto.mac import sha256
+from ..crypto.rsa import RSAPrivateKey, RSAPublicKey
+from ..wireformat import ByteReader, ByteWriter, DecodeError
+
+_MAGIC = b"RCRT"
+
+
+@dataclass(frozen=True)
+class CertificateData:
+    """The to-be-signed portion of a certificate."""
+
+    subject_names: tuple[str, ...]  # CN + SANs; supports "*.example.com"
+    issuer: str
+    serial: int
+    not_before: float  # epoch seconds (simulation time)
+    not_after: float
+    public_key: RSAPublicKey
+
+    def tbs_bytes(self) -> bytes:
+        """Serialize the signed portion."""
+        writer = ByteWriter()
+        writer.raw(_MAGIC)
+        names = ByteWriter()
+        for name in self.subject_names:
+            names.vec8(name.encode("ascii"))
+        writer.vec16(names.getvalue())
+        writer.vec8(self.issuer.encode("ascii"))
+        writer.u32(self.serial)
+        writer.u32(int(self.not_before))
+        writer.u32(int(self.not_after))
+        n_bytes = self.public_key.n.to_bytes((self.public_key.n.bit_length() + 7) // 8, "big")
+        writer.vec16(n_bytes)
+        writer.u32(self.public_key.e)
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class X509Certificate:
+    """A signed certificate: TBS data plus the issuer's signature."""
+
+    data: CertificateData
+    signature: int
+
+    @property
+    def subject_names(self) -> tuple[str, ...]:
+        return self.data.subject_names
+
+    @property
+    def issuer(self) -> str:
+        return self.data.issuer
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.data.public_key
+
+    def serialize(self) -> bytes:
+        tbs = self.data.tbs_bytes()
+        sig_bytes = self.signature.to_bytes((self.signature.bit_length() + 7) // 8 or 1, "big")
+        return ByteWriter().vec16(tbs).vec16(sig_bytes).getvalue()
+
+    @classmethod
+    def parse(cls, blob: bytes) -> "X509Certificate":
+        outer = ByteReader(blob)
+        tbs = outer.vec16()
+        sig_bytes = outer.vec16()
+        outer.expect_end()
+        reader = ByteReader(tbs)
+        if reader.raw(4) != _MAGIC:
+            raise DecodeError("not a repro certificate")
+        names_block = ByteReader(reader.vec16())
+        names = []
+        while names_block.remaining:
+            names.append(names_block.vec8().decode("ascii"))
+        issuer = reader.vec8().decode("ascii")
+        serial = reader.u32()
+        not_before = float(reader.u32())
+        not_after = float(reader.u32())
+        n = int.from_bytes(reader.vec16(), "big")
+        e = reader.u32()
+        reader.expect_end()
+        data = CertificateData(
+            subject_names=tuple(names),
+            issuer=issuer,
+            serial=serial,
+            not_before=not_before,
+            not_after=not_after,
+            public_key=RSAPublicKey(n=n, e=e),
+        )
+        return cls(data=data, signature=int.from_bytes(sig_bytes, "big"))
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 fingerprint of the serialized certificate."""
+        return sha256(self.serialize())
+
+    def matches_hostname(self, hostname: str) -> bool:
+        """RFC 6125-style name matching with single-label wildcards."""
+        hostname = hostname.lower().rstrip(".")
+        for name in self.subject_names:
+            name = name.lower()
+            if name == hostname:
+                return True
+            if name.startswith("*."):
+                suffix = name[1:]  # ".example.com"
+                if hostname.endswith(suffix) and "." not in hostname[: -len(suffix)]:
+                    if hostname[: -len(suffix)]:
+                        return True
+        return False
+
+    def valid_at(self, now: float) -> bool:
+        return self.data.not_before <= now <= self.data.not_after
+
+
+@dataclass
+class CertificateAuthority:
+    """A simulated CA that mints leaf certificates."""
+
+    name: str
+    private_key: RSAPrivateKey
+    next_serial: int = field(default=1)
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.private_key.public
+
+    def issue(
+        self,
+        subject_names: Sequence[str],
+        subject_key: RSAPublicKey,
+        not_before: float,
+        not_after: float,
+    ) -> X509Certificate:
+        """Sign a leaf certificate for ``subject_names``."""
+        if not subject_names:
+            raise ValueError("certificate needs at least one subject name")
+        if not_after <= not_before:
+            raise ValueError("certificate validity window is empty")
+        data = CertificateData(
+            subject_names=tuple(subject_names),
+            issuer=self.name,
+            serial=self.next_serial,
+            not_before=not_before,
+            not_after=not_after,
+            public_key=subject_key,
+        )
+        self.next_serial += 1
+        return X509Certificate(data=data, signature=self.private_key.sign(data.tbs_bytes()))
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of chain validation, with the failure reason if any."""
+
+    valid: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+class TrustStore:
+    """An NSS-like root store: trusted CA names and their public keys."""
+
+    def __init__(self) -> None:
+        self._roots: dict[str, RSAPublicKey] = {}
+
+    def add_root(self, name: str, public_key: RSAPublicKey) -> None:
+        self._roots[name] = public_key
+
+    def trusts(self, issuer: str) -> bool:
+        return issuer in self._roots
+
+    def root_names(self) -> list[str]:
+        return sorted(self._roots)
+
+    def validate(
+        self,
+        certificate: X509Certificate,
+        hostname: Optional[str],
+        now: float,
+    ) -> ValidationResult:
+        """Validate a leaf certificate: issuer trust, signature, time, name."""
+        root = self._roots.get(certificate.issuer)
+        if root is None:
+            return ValidationResult(False, f"untrusted issuer {certificate.issuer!r}")
+        if not root.verify(certificate.data.tbs_bytes(), certificate.signature):
+            return ValidationResult(False, "bad signature")
+        if not certificate.valid_at(now):
+            return ValidationResult(False, "certificate expired or not yet valid")
+        if hostname is not None and not certificate.matches_hostname(hostname):
+            return ValidationResult(False, f"hostname {hostname!r} not in subject names")
+        return ValidationResult(True)
+
+
+__all__ = [
+    "CertificateData",
+    "X509Certificate",
+    "CertificateAuthority",
+    "TrustStore",
+    "ValidationResult",
+]

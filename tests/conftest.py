@@ -1,0 +1,62 @@
+"""Session-scoped fixtures: a small ecosystem and one shared study run.
+
+The ecosystem/study fixtures are deliberately small (a few hundred
+domains, eight days) so the whole suite stays fast while still
+exercising every experiment the paper runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.hosting import EcosystemConfig, build_ecosystem
+from repro.scanner import StudyConfig, run_study
+
+SMALL_POPULATION = 460
+SMALL_SEED = 7
+SMALL_DAYS = 8
+
+
+def small_study_config() -> StudyConfig:
+    return StudyConfig(
+        days=SMALL_DAYS,
+        seed=101,
+        probe_domain_count=140,
+        dhe_support_day=2,
+        ecdhe_support_day=3,
+        ticket_support_day=4,
+        crossdomain_day=5,
+        session_probe_day=5,
+        ticket_probe_day=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_ecosystem_factory():
+    """Factory for fresh small ecosystems (per-test mutation safe)."""
+
+    def build(population: int = SMALL_POPULATION, seed: int = SMALL_SEED, **kwargs):
+        return build_ecosystem(
+            EcosystemConfig(population=population, seed=seed, **kwargs)
+        )
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """One shared (ecosystem, dataset) pair for analysis-layer tests.
+
+    Session-scoped because the scan itself is the expensive part; tests
+    must treat both objects as read-only.
+    """
+    ecosystem = build_ecosystem(
+        EcosystemConfig(population=SMALL_POPULATION, seed=SMALL_SEED)
+    )
+    dataset = run_study(ecosystem, small_study_config())
+    return ecosystem, dataset

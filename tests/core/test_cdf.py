@@ -1,0 +1,81 @@
+"""Empirical CDF tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cdf import CDF, survival_points
+
+
+def test_fractions_basic():
+    cdf = CDF([1, 2, 2, 3, 10])
+    assert cdf.fraction_at_most(2) == 3 / 5
+    assert cdf.fraction_less(2) == 1 / 5
+    assert cdf.fraction_at_least(2) == 4 / 5
+    assert cdf.fraction_greater(3) == pytest.approx(1 / 5)
+    assert cdf.fraction_at_most(0) == 0.0
+    assert cdf.fraction_at_most(10) == 1.0
+
+
+def test_empty_cdf():
+    cdf = CDF([])
+    assert len(cdf) == 0
+    assert cdf.fraction_at_most(5) == 0.0
+    assert cdf.fraction_at_least(5) == 1.0
+    with pytest.raises(ValueError):
+        cdf.quantile(0.5)
+
+
+def test_median_and_quantiles():
+    cdf = CDF([1, 2, 3, 4, 5])
+    assert cdf.median() == 3
+    assert cdf.quantile(0.0) == 1
+    assert cdf.quantile(1.0) == 5
+    assert cdf.quantile(0.2) == 1
+
+
+def test_quantile_bounds():
+    cdf = CDF([1])
+    with pytest.raises(ValueError):
+        cdf.quantile(-0.1)
+    with pytest.raises(ValueError):
+        cdf.quantile(1.1)
+
+
+def test_step_points():
+    cdf = CDF([1, 1, 2, 5])
+    assert cdf.step_points() == [(1.0, 0.5), (2.0, 0.75), (5.0, 1.0)]
+
+
+def test_step_points_single_value():
+    assert CDF([7, 7, 7]).step_points() == [(7.0, 1.0)]
+
+
+def test_survival_points():
+    cdf = CDF([1, 2])
+    assert survival_points(cdf) == [(1.0, 0.5), (2.0, 0.0)]
+
+
+def test_values_sorted():
+    assert CDF([3, 1, 2]).values == (1.0, 2.0, 3.0)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False), min_size=1))
+@settings(max_examples=60, deadline=None)
+def test_cdf_monotone_and_bounded(values):
+    cdf = CDF(values)
+    points = cdf.step_points()
+    fractions = [p for _, p in points]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+    for x, _ in points:
+        assert 0.0 <= cdf.fraction_at_most(x) <= 1.0
+        assert cdf.fraction_at_most(x) + cdf.fraction_greater(x) == pytest.approx(1.0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1),
+       st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_quantile_is_attained_value(values, q):
+    cdf = CDF(values)
+    assert cdf.quantile(q) in cdf.values

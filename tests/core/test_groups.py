@@ -1,0 +1,166 @@
+"""Union-find and service-group construction tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.groups import (
+    UnionFind,
+    groups_from_edges,
+    groups_from_shared_identifiers,
+)
+from repro.scanner.records import CrossDomainEdge, ScanObservation
+
+
+def obs(domain, stek=None, kex=None):
+    return ScanObservation(
+        domain=domain, day=0, timestamp=0.0, success=True,
+        ticket_issued=stek is not None, stek_id=stek, kex_public=kex,
+    )
+
+
+def test_union_find_basic():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("c", "d")
+    assert uf.find("a") == uf.find("b")
+    assert uf.find("a") != uf.find("c")
+    uf.union("b", "c")
+    assert uf.find("a") == uf.find("d")
+
+
+def test_union_find_groups_sorted_by_size():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("b", "c")
+    uf.add("lonely")
+    groups = uf.groups()
+    assert groups[0] == {"a", "b", "c"}
+    assert groups[1] == {"lonely"}
+
+
+def test_union_find_idempotent():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("a", "b")
+    uf.union("b", "a")
+    assert len(uf.groups()) == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_union_find_partition_property(pairs):
+    """Union-find must agree with naive graph connected components."""
+    uf = UnionFind()
+    adjacency = {}
+    for a, b in pairs:
+        uf.union(a, b)
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    # Naive BFS components.
+    seen = set()
+    components = []
+    for node in adjacency:
+        if node in seen:
+            continue
+        stack, component = [node], set()
+        while stack:
+            current = stack.pop()
+            if current in component:
+                continue
+            component.add(current)
+            stack.extend(adjacency.get(current, ()))
+        seen |= component
+        components.append(component)
+    expected = sorted(map(sorted, components))
+    actual = sorted(map(sorted, uf.groups()))
+    assert actual == expected
+
+
+def test_groups_from_edges_transitive():
+    """§5.1: id_a valid on b and id_b valid on c groups all three."""
+    edges = [
+        CrossDomainEdge(origin="a", acceptor="b"),
+        CrossDomainEdge(origin="b", acceptor="c"),
+    ]
+    result = groups_from_edges(edges, ["a", "b", "c", "d"])
+    assert result.group_count == 2
+    assert {"a", "b", "c"} in [set(g.domains) for g in result.groups]
+    assert result.singleton_count == 1
+
+
+def test_groups_from_edges_all_probed_become_groups():
+    result = groups_from_edges([], ["x", "y"])
+    assert result.group_count == 2
+    assert result.singleton_count == 2
+    assert result.multi_domain_count == 0
+
+
+def test_groups_labeled_by_dominant_as():
+    edges = [CrossDomainEdge(origin="a", acceptor="b")]
+    result = groups_from_edges(
+        edges, ["a", "b"],
+        domain_asn={"a": 13335, "b": 13335},
+        as_names={13335: "cloudflare"},
+    )
+    assert result.groups[0].label == "cloudflare"
+
+
+def test_groups_sorted_largest_first():
+    edges = [
+        CrossDomainEdge(origin="a", acceptor="b"),
+        CrossDomainEdge(origin="x", acceptor="y"),
+        CrossDomainEdge(origin="y", acceptor="z"),
+    ]
+    result = groups_from_edges(edges, ["a", "b", "x", "y", "z"])
+    assert len(result.groups[0]) == 3
+    assert len(result.groups[1]) == 2
+
+
+def test_stek_groups_from_shared_ids():
+    observations = [
+        obs("a", stek="k1"), obs("b", stek="k1"),
+        obs("c", stek="k2"),
+    ]
+    result = groups_from_shared_identifiers([observations], "stek")
+    assert result.group_count == 2
+    assert set(result.groups[0].domains) == {"a", "b"}
+    assert result.mechanism == "stek"
+
+
+def test_stek_groups_join_across_scans():
+    """The paper merges the 6-hour and 30-minute scans before grouping."""
+    scan1 = [obs("a", stek="k1"), obs("b", stek="k2")]
+    scan2 = [obs("a", stek="k3"), obs("b", stek="k3")]  # rotated, shared
+    result = groups_from_shared_identifiers([scan1, scan2], "stek")
+    assert result.group_count == 1
+    assert set(result.groups[0].domains) == {"a", "b"}
+
+
+def test_dh_groups():
+    observations = [
+        obs("a", kex="v"), obs("b", kex="v"), obs("c", kex="w"), obs("d", kex="x"),
+    ]
+    result = groups_from_shared_identifiers([observations], "dh")
+    assert result.group_count == 3
+    assert result.domains_in_shared_groups() == 2
+
+
+def test_unknown_identifier_kind():
+    import pytest
+
+    with pytest.raises(ValueError):
+        groups_from_shared_identifiers([[]], "bogus")
+
+
+def test_failed_observations_ignored():
+    bad = ScanObservation(domain="a", day=0, timestamp=0.0, success=False,
+                          ticket_issued=True, stek_id="k")
+    result = groups_from_shared_identifiers([[bad]], "stek")
+    assert result.group_count == 0
+
+
+def test_grouping_result_statistics():
+    observations = [obs("a", stek="k"), obs("b", stek="k"), obs("c", stek="z")]
+    result = groups_from_shared_identifiers([observations], "stek")
+    assert result.multi_domain_count == 1
+    assert result.singleton_count == 1
+    assert result.largest(1)[0].domains == frozenset({"a", "b"})

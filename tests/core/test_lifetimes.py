@@ -1,0 +1,105 @@
+"""Resumption-lifetime analysis tests."""
+
+import pytest
+
+from repro.core.lifetimes import (
+    hint_cdf,
+    honored_lifetime_cdf,
+    lifetime_buckets,
+    session_lifetime_by_domain,
+    support_summary,
+    unspecified_hint_count,
+)
+from repro.netsim.clock import HOUR, MINUTE
+from repro.scanner.records import ResumptionProbeResult
+
+
+def probe(domain="d.com", ok=True, issued=True, at_1s=True, delay=60.0,
+          ceiling=False, hint=None, mechanism="session_id"):
+    return ResumptionProbeResult(
+        domain=domain,
+        mechanism=mechanism,
+        handshake_ok=ok,
+        issued=issued,
+        resumed_at_1s=at_1s,
+        max_success_delay=delay,
+        hit_probe_ceiling=ceiling,
+        ticket_hint=hint,
+    )
+
+
+def test_support_summary_counts():
+    probes = [
+        probe(ok=True, issued=True, at_1s=True),
+        probe(ok=True, issued=True, at_1s=False, delay=None),
+        probe(ok=True, issued=False, at_1s=False, delay=None),
+        probe(ok=False, issued=False, at_1s=False, delay=None),
+    ]
+    summary = support_summary(probes, "session_id")
+    assert summary.probed == 4
+    assert summary.handshake_ok == 3
+    assert summary.issued == 2
+    assert summary.resumed_at_1s == 1
+    assert summary.honored_any == 1
+    assert summary.issue_rate == 2 / 3
+    assert summary.resume_rate == 1 / 3
+
+
+def test_support_summary_empty():
+    summary = support_summary([], "ticket")
+    assert summary.issue_rate == 0.0 and summary.resume_rate == 0.0
+
+
+def test_honored_lifetime_cdf_excludes_non_resuming():
+    probes = [probe(delay=300.0), probe(delay=None)]
+    cdf = honored_lifetime_cdf(probes)
+    assert len(cdf) == 1
+
+
+def test_ceiling_contributes_max_value():
+    probes = [probe(delay=23 * HOUR, ceiling=True)]
+    cdf = honored_lifetime_cdf(probes)
+    assert cdf.values[0] == 24 * HOUR
+
+
+def test_lifetime_buckets_match_distribution():
+    probes = (
+        [probe(domain=f"a{i}", delay=60.0) for i in range(61)]        # < 5 min
+        + [probe(domain=f"b{i}", delay=30 * MINUTE) for i in range(21)]  # <= 1 h
+        + [probe(domain=f"c{i}", delay=10 * HOUR) for i in range(17)]
+        + [probe(domain=f"d{i}", delay=24 * HOUR, ceiling=True) for i in range(1)]
+    )
+    buckets = lifetime_buckets(probes)
+    assert buckets.resuming_domains == 100
+    assert buckets.under_5_minutes == 0.61
+    assert buckets.at_most_1_hour == 0.82
+    assert buckets.at_least_24_hours == pytest.approx(0.01)
+
+
+def test_hint_cdf_only_specified():
+    probes = [probe(hint=300), probe(hint=0), probe(hint=None), probe(hint=64800)]
+    cdf = hint_cdf(probes)
+    assert len(cdf) == 2
+    assert cdf.fraction_at_most(300) == 0.5
+
+
+def test_unspecified_hint_count():
+    probes = [probe(hint=0), probe(hint=300), probe(hint=0, issued=False)]
+    assert unspecified_hint_count(probes) == 1
+
+
+def test_session_lifetime_by_domain():
+    probes = [
+        probe(domain="a.com", delay=300.0),
+        probe(domain="b.com", delay=None),
+        probe(domain="c.com", delay=10.0, ceiling=True),
+    ]
+    lifetimes = session_lifetime_by_domain(probes)
+    assert lifetimes["a.com"] == 300.0
+    assert "b.com" not in lifetimes
+    assert lifetimes["c.com"] == 24 * HOUR
+
+
+def test_session_lifetime_takes_max_of_duplicates():
+    probes = [probe(domain="a.com", delay=60.0), probe(domain="a.com", delay=600.0)]
+    assert session_lifetime_by_domain(probes)["a.com"] == 600.0

@@ -1,0 +1,98 @@
+"""Mitigation counterfactual tests (§8.2)."""
+
+import pytest
+
+from repro.core.mitigations import (
+    ALL_RECOMMENDATIONS,
+    CAP_SESSION_CACHES,
+    DISABLE_RESUMPTION,
+    FRESH_DH_VALUES,
+    ROTATE_STEKS_DAILY,
+    MitigationPolicy,
+    apply_policy,
+    evaluate_mitigations,
+    render_mitigation_report,
+)
+from repro.core.windows import VulnerabilityWindow
+from repro.netsim.clock import DAY, HOUR
+
+
+def sample_windows():
+    return {
+        "ticket-heavy.com": VulnerabilityWindow(
+            "ticket-heavy.com", ticket_window=40 * DAY, session_cache_window=300.0
+        ),
+        "cache-heavy.com": VulnerabilityWindow(
+            "cache-heavy.com", session_cache_window=10 * HOUR
+        ),
+        "dh-heavy.com": VulnerabilityWindow("dh-heavy.com", dh_window=20 * DAY),
+        "tidy.com": VulnerabilityWindow("tidy.com", session_cache_window=60.0),
+    }
+
+
+def test_rotate_steks_caps_ticket_window():
+    mitigated = apply_policy(sample_windows(), ROTATE_STEKS_DAILY)
+    assert mitigated["ticket-heavy.com"].ticket_window == DAY
+    # Other mechanisms untouched.
+    assert mitigated["dh-heavy.com"].dh_window == 20 * DAY
+
+
+def test_cap_session_caches():
+    mitigated = apply_policy(sample_windows(), CAP_SESSION_CACHES)
+    assert mitigated["cache-heavy.com"].session_cache_window == HOUR
+    assert mitigated["tidy.com"].session_cache_window == 60.0  # already below
+
+
+def test_fresh_dh_values_zeroes_dh():
+    mitigated = apply_policy(sample_windows(), FRESH_DH_VALUES)
+    assert mitigated["dh-heavy.com"].dh_window == 0.0
+    assert mitigated["dh-heavy.com"].combined == 0.0
+
+
+def test_disable_resumption_collapses_everything():
+    mitigated = apply_policy(sample_windows(), DISABLE_RESUMPTION)
+    assert all(w.combined == 0.0 for w in mitigated.values())
+
+
+def test_all_recommendations_bound_combined_window():
+    mitigated = apply_policy(sample_windows(), ALL_RECOMMENDATIONS)
+    assert all(w.combined <= DAY for w in mitigated.values())
+
+
+def test_policies_never_increase_windows():
+    windows = sample_windows()
+    for policy in (ROTATE_STEKS_DAILY, CAP_SESSION_CACHES, FRESH_DH_VALUES,
+                   ALL_RECOMMENDATIONS, DISABLE_RESUMPTION):
+        mitigated = apply_policy(windows, policy)
+        for name in windows:
+            assert mitigated[name].combined <= windows[name].combined
+
+
+def test_evaluate_mitigations_report():
+    report = evaluate_mitigations(sample_windows())
+    assert report.baseline.over_24_hours == 2
+    assert report.by_policy["all §8.2 recommendations"].over_24_hours == 0
+    assert report.improvement_over_24h("all §8.2 recommendations") == 1.0
+    # STEK rotation alone still leaves the DH-heavy domain exposed.
+    assert report.by_policy["rotate STEKs daily"].over_24_hours == 1
+    assert report.improvement_over_24h("rotate STEKs daily") == pytest.approx(0.5)
+
+
+def test_improvement_with_zero_baseline():
+    report = evaluate_mitigations(
+        {"a": VulnerabilityWindow("a", session_cache_window=10.0)}
+    )
+    assert report.improvement_over_24h("rotate STEKs daily") == 0.0
+
+
+def test_render_report():
+    text = render_mitigation_report(evaluate_mitigations(sample_windows()))
+    assert "baseline" in text
+    assert "rotate STEKs daily" in text
+    assert ">24h" in text
+
+
+def test_custom_policy():
+    policy = MitigationPolicy(name="weekly STEKs", max_ticket_window=7 * DAY)
+    mitigated = apply_policy(sample_windows(), policy)
+    assert mitigated["ticket-heavy.com"].ticket_window == 7 * DAY

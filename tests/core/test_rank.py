@@ -1,0 +1,79 @@
+"""Rank-tier tests (Figure 4 support)."""
+
+from repro.core.rank import spans_by_tier, tier_counts, tiers_for_population
+from repro.core.spans import DomainSpans, IdentifierSpan
+
+
+def spans_map(entries):
+    result = {}
+    for domain, days in entries:
+        ds = DomainSpans(domain=domain)
+        ds.spans.append(IdentifierSpan(domain, "k", 0, days, days + 1))
+        result[domain] = ds
+    return result
+
+
+def test_full_scale_tiers():
+    tiers = tiers_for_population(1_000_000)
+    assert [t.label for t in tiers] == [
+        "Top 100", "Top 1K", "Top 10K", "Top 100K", "Top 1M",
+    ]
+    assert tiers[0].max_rank == 100
+    assert tiers[3].max_rank == 100_000
+
+
+def test_scaled_tiers_proportional():
+    tiers = tiers_for_population(10_000)
+    assert tiers[0].max_rank == 1       # Top 100 -> 1
+    assert tiers[1].max_rank == 10      # Top 1K -> 10
+    assert tiers[2].max_rank == 100
+    assert tiers[3].max_rank == 1000
+
+
+def test_outermost_tier_unbounded():
+    tiers = tiers_for_population(500)
+    # Pinned notable ranks can exceed the population; the Top-1M tier
+    # must still include them.
+    assert tiers[-1].max_rank > 1_000_000
+
+
+def test_tiers_nested():
+    tiers = tiers_for_population(5000)
+    ranks = [t.max_rank for t in tiers]
+    assert ranks == sorted(ranks)
+
+
+def test_spans_by_tier_nesting():
+    spans = spans_map([("top.com", 30), ("mid.com", 5), ("tail.com", 0)])
+    ranks = {"top.com": 1, "mid.com": 50, "tail.com": 900}
+    tiers = tiers_for_population(1000)
+    result = spans_by_tier(spans, ranks, tiers)
+    assert len(result["Top 1M"]) == 3
+    # Top 100 at population 1000 scales to rank <= 0.1 -> max(1) = 1.
+    assert len(result[tiers[0].label]) >= 1
+    # Every tier is a subset of the next.
+    sizes = [len(result[t.label]) for t in tiers]
+    assert sizes == sorted(sizes)
+
+
+def test_unranked_domains_fall_outside_small_tiers():
+    spans = spans_map([("mystery.com", 10)])
+    tiers = tiers_for_population(1000)
+    result = spans_by_tier(spans, {}, tiers)
+    # An unranked domain (sentinel rank 2^30) is excluded from the
+    # inner tiers but still lands in the unbounded outermost one.
+    assert len(result[tiers[0].label]) == 0
+    assert len(result[tiers[3].label]) == 0
+    assert len(result["Top 1M"]) == 1
+
+
+def test_tier_counts():
+    spans = spans_map([("a", 1), ("b", 2), ("c", 3)])
+    ranks = {"a": 1, "b": 2, "c": 600}
+    tiers = tiers_for_population(1000)
+    counts = tier_counts(spans, ranks, tiers)
+    assert counts["Top 1M"] == 3
+    # Population 1000: "Top 1K" scales to rank <= 1, "Top 10K" to <= 10.
+    assert counts[tiers[1].label] == 1
+    assert counts[tiers[2].label] == 2
+    assert counts[tiers[3].label] == 2

@@ -1,0 +1,120 @@
+"""Report rendering tests."""
+
+from repro.core.groups import GroupingResult, ServiceGroup
+from repro.core.report import (
+    describe_window,
+    largest_group_rows,
+    render_exposure_summary,
+    render_largest_groups,
+    render_lifetime_buckets,
+    render_top_reuse,
+    render_waterfalls,
+    top_reuse_rows,
+)
+from repro.core.lifetimes import lifetime_buckets
+from repro.core.spans import DomainSpans, IdentifierSpan
+from repro.core.support import SupportWaterfall
+from repro.core.windows import VulnerabilityWindow, summarize_exposure
+from repro.netsim.clock import DAY
+from repro.scanner.records import ResumptionProbeResult
+
+
+def spans_map(entries):
+    result = {}
+    for domain, days in entries:
+        ds = DomainSpans(domain=domain)
+        ds.spans.append(IdentifierSpan(domain, "k", 0, days, 1))
+        result[domain] = ds
+    return result
+
+
+def test_top_reuse_rows_filter_and_order():
+    spans = spans_map([("popular.com", 10), ("tail.com", 40), ("short.com", 2)])
+    ranks = {"popular.com": 5, "tail.com": 900, "short.com": 1}
+    rows = top_reuse_rows(spans, ranks, min_days=7, top_n=10)
+    # Days are inclusive (paper convention): gap 10 reads as 11 days.
+    assert [(r.domain, r.days) for r in rows] == [
+        ("popular.com", 11), ("tail.com", 41),
+    ]
+    assert rows[0].rank == 5
+
+
+def test_top_reuse_rows_top_n():
+    spans = spans_map([(f"d{i}.com", 10) for i in range(20)])
+    ranks = {f"d{i}.com": i + 1 for i in range(20)}
+    rows = top_reuse_rows(spans, ranks, min_days=7, top_n=10)
+    assert len(rows) == 10
+    assert rows[0].rank == 1
+
+
+def test_render_top_reuse_contains_rows():
+    spans = spans_map([("yahoo.com", 62)])  # inclusive 63, like the paper
+    text = render_top_reuse(
+        top_reuse_rows(spans, {"yahoo.com": 5}), "Table 2: STEK reuse"
+    )
+    assert "Table 2" in text
+    assert "yahoo.com" in text
+    assert "63" in text
+
+
+def test_largest_group_rows_numbering():
+    grouping = GroupingResult(
+        groups=[
+            ServiceGroup(frozenset({"a", "b", "c"}), label="cloudflare"),
+            ServiceGroup(frozenset({"d", "e"}), label="cloudflare"),
+            ServiceGroup(frozenset({"f"}), label="shopify"),
+        ],
+        mechanism="stek",
+    )
+    rows = largest_group_rows(grouping, top_n=3)
+    assert rows == [("cloudflare #1", 3), ("cloudflare #2", 2), ("shopify", 1)]
+
+
+def test_largest_group_rows_unlabeled():
+    grouping = GroupingResult(groups=[ServiceGroup(frozenset({"x"}))])
+    assert largest_group_rows(grouping)[0][0] == "(unlabeled)"
+
+
+def test_render_largest_groups():
+    grouping = GroupingResult(
+        groups=[ServiceGroup(frozenset({"a", "b"}), label="google")],
+        mechanism="stek",
+    )
+    text = render_largest_groups(grouping, "Table 6")
+    assert "google" in text and "Table 6" in text
+    assert "groups=1" in text
+
+
+def test_render_exposure_summary():
+    summary = summarize_exposure(
+        {"a": VulnerabilityWindow("a", ticket_window=40 * DAY)}
+    )
+    text = render_exposure_summary(summary)
+    assert "window > 30 days" in text
+    assert "(100%)" in text
+
+
+def test_render_lifetime_buckets():
+    probes = [
+        ResumptionProbeResult(domain="a", handshake_ok=True, issued=True,
+                              resumed_at_1s=True, max_success_delay=60.0)
+    ]
+    text = render_lifetime_buckets(lifetime_buckets(probes), "Session ID")
+    assert "Session ID" in text
+    assert "100%" in text
+
+
+def test_render_waterfalls():
+    waterfall = SupportWaterfall(
+        label="ticket", list_size=100, non_blacklisted=99, browser_trusted=80,
+        supporting=60, repeated_value=58, always_same_value=50,
+    )
+    text = render_waterfalls([waterfall])
+    assert "Session Tickets" in text
+    assert "99" in text and "50" in text
+
+
+def test_describe_window():
+    assert describe_window(0) == "none observed"
+    assert describe_window(300) == "5 min"
+    assert describe_window(63 * DAY) == "63 d"

@@ -1,0 +1,127 @@
+"""Offline rotation-estimation tests."""
+
+from repro.core.rotation import (
+    consistent_with_spans,
+    estimate_rotation,
+    rotation_policy_histogram,
+)
+from repro.core.spans import stek_spans
+from repro.scanner.records import ScanObservation
+
+
+def obs(domain, day, stek, success=True):
+    return ScanObservation(
+        domain=domain, day=day, timestamp=day * 86400.0, success=success,
+        ticket_issued=True, stek_id=stek,
+    )
+
+
+def daily_rotator(domain, days):
+    return [obs(domain, d, f"{domain}-key-{d}") for d in range(days)]
+
+
+def static_domain(domain, days):
+    return [obs(domain, d, f"{domain}-key") for d in range(days)]
+
+
+def weekly_rotator(domain, days, interval=7):
+    return [obs(domain, d, f"{domain}-key-{d // interval}") for d in range(days)]
+
+
+def test_static_domain_detected():
+    estimates = estimate_rotation(static_domain("a.com", 20))
+    estimate = estimates["a.com"]
+    assert estimate.policy == "static"
+    assert not estimate.rotates
+    assert estimate.observed_keys == 1
+
+
+def test_daily_rotator_detected():
+    estimates = estimate_rotation(daily_rotator("a.com", 20))
+    estimate = estimates["a.com"]
+    assert estimate.policy == "daily"
+    assert estimate.estimated_interval_days == 1.0
+    assert estimate.observed_keys == 20
+
+
+def test_weekly_rotator_detected():
+    estimates = estimate_rotation(weekly_rotator("a.com", 35))
+    estimate = estimates["a.com"]
+    assert estimate.policy == "multi-day"
+    assert estimate.estimated_interval_days == 7.0
+
+
+def test_single_change_uses_stable_stretch():
+    observations = (
+        [obs("a.com", d, "k1") for d in range(0, 20)]
+        + [obs("a.com", d, "k2") for d in range(20, 26)]
+    )
+    estimate = estimate_rotation(observations)["a.com"]
+    assert estimate.rotates
+    assert estimate.estimated_interval_days >= 18
+
+
+def test_failed_and_ticketless_observations_ignored():
+    observations = daily_rotator("a.com", 5) + [
+        obs("a.com", 9, "ignored", success=False),
+        ScanObservation(domain="a.com", day=10, timestamp=0.0, success=True),
+    ]
+    estimate = estimate_rotation(observations)["a.com"]
+    assert estimate.observation_days == 5
+
+
+def test_domain_filter():
+    observations = daily_rotator("a.com", 5) + static_domain("b.com", 5)
+    estimates = estimate_rotation(observations, domains={"b.com"})
+    assert set(estimates) == {"b.com"}
+
+
+def test_policy_histogram():
+    observations = (
+        daily_rotator("daily.com", 10)
+        + static_domain("static.com", 10)
+        + weekly_rotator("weekly.com", 30)
+    )
+    histogram = rotation_policy_histogram(estimate_rotation(observations))
+    assert histogram == {"daily": 1, "static": 1, "multi-day": 1}
+
+
+def test_estimates_consistent_with_spans():
+    observations = (
+        daily_rotator("daily.com", 15)
+        + static_domain("static.com", 15)
+        + weekly_rotator("weekly.com", 30)
+    )
+    estimates = estimate_rotation(observations)
+    spans = stek_spans(observations)
+    assert consistent_with_spans(estimates, spans)
+
+
+def test_inconsistency_detected():
+    from repro.core.rotation import RotationEstimate
+
+    observations = static_domain("a.com", 30)
+    spans = stek_spans(observations)  # span 29 days
+    fake = {
+        "a.com": RotationEstimate(
+            domain="a.com", observed_keys=5, observation_days=30,
+            estimated_interval_days=2.0, policy="multi-day",
+        )
+    }
+    assert not consistent_with_spans(fake, spans)
+
+
+def test_jitter_between_backends_still_estimates():
+    """Alternating unsynchronized backends must not produce a bogus
+    sub-daily estimate for multi-day keys."""
+    observations = []
+    for day in range(24):
+        backend = day % 2
+        key_index = day // 8  # both backends rotate every 8 days
+        observations.append(obs("a.com", day, f"b{backend}-k{key_index}"))
+    estimate = estimate_rotation(observations)["a.com"]
+    # Changes happen every day due to backend flipping; the estimator is
+    # day-granular and conservative: it reports the fastest apparent
+    # rotation, a *lower bound* on key lifetime.
+    assert estimate.rotates
+    assert estimate.estimated_interval_days >= 1.0

@@ -1,0 +1,84 @@
+"""Property-based tests for the span estimator against simulated
+rotation schedules (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.spans import consecutive_spans, stek_spans
+from repro.scanner.records import ScanObservation
+
+
+def observations_for_schedule(rotation_days, study_days, missed_days=frozenset()):
+    """Daily observations of a domain rotating every ``rotation_days``."""
+    result = []
+    for day in range(study_days):
+        if day in missed_days:
+            continue
+        key_index = day // rotation_days
+        result.append(ScanObservation(
+            domain="x.com", day=day, timestamp=day * 86400.0, success=True,
+            ticket_issued=True, stek_id=f"key-{key_index}",
+        ))
+    return result
+
+
+@given(rotation=st.integers(min_value=1, max_value=20),
+       study=st.integers(min_value=2, max_value=63))
+@settings(max_examples=80, deadline=None)
+def test_span_bounded_by_rotation_interval(rotation, study):
+    observations = observations_for_schedule(rotation, study)
+    spans = stek_spans(observations)
+    entry = spans["x.com"]
+    # A key rotated every R days is observed on at most R distinct days:
+    # max gap span <= R-1.
+    assert entry.max_span_days <= rotation - 1 + 0
+
+
+@given(rotation=st.integers(min_value=2, max_value=15),
+       study=st.integers(min_value=30, max_value=63))
+@settings(max_examples=50, deadline=None)
+def test_full_keys_span_exactly_interval(rotation, study):
+    observations = observations_for_schedule(rotation, study)
+    spans = stek_spans(observations)
+    complete_keys = [s for s in spans["x.com"].spans
+                     if s.first_day > 0 and s.last_day < study - 1]
+    for span in complete_keys:
+        assert span.span_days == rotation - 1
+
+
+@given(rotation=st.integers(min_value=3, max_value=20),
+       study=st.integers(min_value=25, max_value=63),
+       data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_missed_days_never_grow_spans(rotation, study, data):
+    missed = data.draw(st.sets(st.integers(min_value=0, max_value=study - 1),
+                               max_size=study // 3))
+    full = stek_spans(observations_for_schedule(rotation, study))
+    sparse = stek_spans(observations_for_schedule(rotation, study,
+                                                  frozenset(missed)))
+    if "x.com" not in sparse:
+        return  # everything missed
+    assert sparse["x.com"].max_span_days <= full["x.com"].max_span_days
+
+
+@given(rotation=st.integers(min_value=4, max_value=20),
+       study=st.integers(min_value=25, max_value=63),
+       data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_first_last_dominates_consecutive(rotation, study, data):
+    missed = data.draw(st.sets(st.integers(min_value=1, max_value=study - 2),
+                               max_size=study // 4))
+    observations = observations_for_schedule(rotation, study, frozenset(missed))
+    if not observations:
+        return
+    fl = stek_spans(observations)
+    co = consecutive_spans(observations)
+    assert fl["x.com"].max_span_days >= co["x.com"].max_span_days
+
+
+@given(study=st.integers(min_value=1, max_value=63))
+@settings(max_examples=30, deadline=None)
+def test_static_key_spans_whole_study(study):
+    observations = observations_for_schedule(10**6, study)
+    spans = stek_spans(observations)
+    assert spans["x.com"].max_span_days == study - 1
+    assert spans["x.com"].max_days_inclusive == study

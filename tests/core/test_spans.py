@@ -1,0 +1,166 @@
+"""Span-estimator tests (synthetic observations, no ecosystem needed)."""
+
+import pytest
+
+from repro.core.spans import (
+    collect_spans,
+    consecutive_spans,
+    kex_spans,
+    max_span_cdf,
+    reuse_within_scan,
+    span_fractions,
+    stek_spans,
+)
+from repro.scanner.records import ScanObservation
+
+
+def obs(domain, day, stek=None, kex=None, kex_kind="ecdhe", success=True):
+    return ScanObservation(
+        domain=domain,
+        day=day,
+        timestamp=day * 86400.0,
+        success=success,
+        ticket_issued=stek is not None,
+        stek_id=stek,
+        kex_public=kex,
+        kex_kind=kex_kind if kex else None,
+    )
+
+
+def test_single_day_span_is_zero():
+    spans = stek_spans([obs("a.com", 3, stek="k1")])
+    assert spans["a.com"].max_span_days == 0
+
+
+def test_first_last_seen_span():
+    spans = stek_spans([
+        obs("a.com", 0, stek="k1"),
+        obs("a.com", 5, stek="k1"),
+    ])
+    assert spans["a.com"].max_span_days == 5
+
+
+def test_jitter_does_not_split_span():
+    """An interleaved other key (LB flip) must not break the span."""
+    spans = stek_spans([
+        obs("a.com", 0, stek="k1"),
+        obs("a.com", 1, stek="OTHER"),
+        obs("a.com", 2, stek="k1"),
+        obs("a.com", 3, stek="OTHER"),
+        obs("a.com", 9, stek="k1"),
+    ])
+    assert spans["a.com"].max_span_days == 9
+
+
+def test_missed_day_does_not_split_span():
+    spans = stek_spans([
+        obs("a.com", 0, stek="k1"),
+        # day 1: scan failed
+        obs("a.com", 2, stek="k1"),
+    ])
+    assert spans["a.com"].max_span_days == 2
+
+
+def test_consecutive_estimator_splits_on_gap():
+    observations = [
+        obs("a.com", 0, stek="k1"),
+        obs("a.com", 2, stek="k1"),
+    ]
+    spans = consecutive_spans(observations)
+    assert spans["a.com"].max_span_days == 0  # split into two 1-day runs
+    assert len(spans["a.com"].spans) == 2
+
+
+def test_consecutive_estimator_keeps_unbroken_run():
+    observations = [obs("a.com", d, stek="k1") for d in range(5)]
+    spans = consecutive_spans(observations)
+    assert spans["a.com"].max_span_days == 4
+
+
+def test_rotation_yields_multiple_spans():
+    observations = (
+        [obs("a.com", d, stek="k1") for d in range(0, 3)]
+        + [obs("a.com", d, stek="k2") for d in range(3, 9)]
+    )
+    spans = stek_spans(observations)
+    assert len(spans["a.com"].spans) == 2
+    assert spans["a.com"].max_span_days == 5  # k2: days 3..8
+
+
+def test_failed_observations_ignored():
+    spans = stek_spans([
+        obs("a.com", 0, stek="k1"),
+        obs("a.com", 9, stek="k1", success=False),
+    ])
+    assert spans["a.com"].max_span_days == 0
+
+
+def test_domain_filter():
+    observations = [obs("a.com", 0, stek="k1"), obs("b.com", 0, stek="k2")]
+    spans = stek_spans(observations, domains={"a.com"})
+    assert set(spans) == {"a.com"}
+
+
+def test_non_ticket_observations_excluded_from_stek_spans():
+    spans = stek_spans([obs("a.com", 0, kex="aabb")])
+    assert "a.com" not in spans
+
+
+def test_kex_spans_by_kind():
+    observations = [
+        obs("a.com", 0, kex="dd", kex_kind="dhe"),
+        obs("a.com", 4, kex="dd", kex_kind="dhe"),
+        obs("a.com", 0, kex="ee", kex_kind="ecdhe"),
+    ]
+    dhe = kex_spans(observations, kind="dhe")
+    assert dhe["a.com"].max_span_days == 4
+    ecdhe = kex_spans(observations, kind="ecdhe")
+    assert ecdhe["a.com"].max_span_days == 0
+
+
+def test_span_fractions():
+    observations = []
+    for index, span_days in enumerate([0, 0, 2, 10, 40]):
+        domain = f"d{index}.com"
+        observations.append(obs(domain, 0, stek="k"))
+        if span_days:
+            observations.append(obs(domain, span_days, stek="k"))
+    fractions = span_fractions(stek_spans(observations))
+    assert fractions[1] == pytest.approx(3 / 5)
+    assert fractions[7] == pytest.approx(2 / 5)
+    assert fractions[30] == pytest.approx(1 / 5)
+
+
+def test_max_span_cdf():
+    observations = [obs("a.com", 0, stek="k"), obs("a.com", 7, stek="k"),
+                    obs("b.com", 1, stek="j")]
+    cdf = max_span_cdf(stek_spans(observations))
+    assert len(cdf) == 2
+    assert cdf.fraction_at_least(7) == 0.5
+
+
+def test_observation_counts_tracked():
+    observations = [obs("a.com", d, stek="k") for d in (0, 0, 1, 5)]
+    spans = stek_spans(observations)
+    assert spans["a.com"].spans[0].observations == 4
+
+
+def test_reuse_within_scan():
+    observations = [
+        obs("a.com", 0, kex="v1"), obs("a.com", 0, kex="v1"), obs("a.com", 0, kex="v2"),
+        obs("b.com", 0, kex="w1"), obs("b.com", 0, kex="w2"),
+    ]
+    tallies = reuse_within_scan(observations)
+    assert tallies["a.com"]["v1"] == 2
+    assert max(tallies["b.com"].values()) == 1
+
+
+def test_identifier_spans_independent_per_domain():
+    """The same STEK id on two domains is two (domain, id) spans."""
+    observations = [
+        obs("a.com", 0, stek="shared"), obs("a.com", 3, stek="shared"),
+        obs("b.com", 1, stek="shared"),
+    ]
+    spans = stek_spans(observations)
+    assert spans["a.com"].max_span_days == 3
+    assert spans["b.com"].max_span_days == 0

@@ -1,0 +1,80 @@
+"""Table 1 support-waterfall tests."""
+
+import pytest
+
+from repro.core.support import support_waterfall
+from repro.scanner.records import ScanObservation
+
+
+def obs(domain, success=True, trusted=True, stek=None, kex=None, kex_kind="ecdhe"):
+    return ScanObservation(
+        domain=domain, day=0, timestamp=0.0, success=success,
+        cert_trusted=trusted, ticket_issued=stek is not None, stek_id=stek,
+        kex_public=kex, kex_kind=kex_kind if kex else None,
+    )
+
+
+def test_ticket_waterfall_counts():
+    observations = (
+        # a: trusted, always same STEK across 3 connections
+        [obs("a", stek="k1")] * 3
+        # b: trusted, STEK rotated mid-scan (repeats but not all-same)
+        + [obs("b", stek="x"), obs("b", stek="x"), obs("b", stek="y")]
+        # c: trusted, no tickets
+        + [obs("c")] * 3
+        # d: untrusted cert
+        + [obs("d", trusted=False, stek="z")] * 3
+        # e: never connected
+        + [obs("e", success=False)] * 3
+    )
+    waterfall = support_waterfall(observations, "ticket", list_size=10, non_blacklisted=9)
+    assert waterfall.list_size == 10
+    assert waterfall.non_blacklisted == 9
+    assert waterfall.browser_trusted == 3   # a, b, c
+    assert waterfall.supporting == 2        # a, b issue tickets
+    assert waterfall.repeated_value == 2    # both repeated a value
+    assert waterfall.always_same_value == 1 # only a
+
+
+def test_kex_waterfall_counts():
+    observations = (
+        [obs("a", kex="v", kex_kind="dhe")] * 2
+        + [obs("b", kex="v1", kex_kind="dhe"), obs("b", kex="v2", kex_kind="dhe")]
+        + [obs("c", kex="w", kex_kind="ecdhe")] * 2  # wrong family
+    )
+    waterfall = support_waterfall(observations, "dhe", list_size=5, non_blacklisted=5)
+    assert waterfall.supporting == 2
+    assert waterfall.repeated_value == 1     # a only
+    assert waterfall.always_same_value == 1
+
+
+def test_single_connection_cannot_count_as_all_same():
+    observations = [obs("a", stek="k")]
+    waterfall = support_waterfall(observations, "ticket", 1, 1)
+    assert waterfall.supporting == 1
+    assert waterfall.repeated_value == 0
+    assert waterfall.always_same_value == 0
+
+
+def test_trust_is_any_connection():
+    observations = [obs("a", trusted=False), obs("a", trusted=True)]
+    waterfall = support_waterfall(observations, "ticket", 1, 1)
+    assert waterfall.browser_trusted == 1
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        support_waterfall([], "tls13", 0, 0)
+
+
+def test_rows_rendering_labels():
+    waterfall = support_waterfall([obs("a", stek="k")] * 2, "ticket", 5, 5)
+    rows = dict(waterfall.rows())
+    assert rows["Alexa 1M domains"] == 5
+    assert rows["Issue session tickets"] == 1
+    assert rows[">= 2x same STEK ID"] == 1
+
+    dhe_waterfall = support_waterfall([], "dhe", 5, 5)
+    labels = [label for label, _ in dhe_waterfall.rows()]
+    assert "Support DHE ciphers" in labels
+    assert ">= 2x same server KEX value" in labels

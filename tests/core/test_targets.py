@@ -1,0 +1,95 @@
+"""Target-value (blast radius) ranking tests (§6)."""
+
+import pytest
+
+from repro.core.groups import GroupingResult, ServiceGroup
+from repro.core.spans import DomainSpans, IdentifierSpan
+from repro.core.targets import (
+    rank_targets,
+    render_target_ranking,
+    spans_to_window_seconds,
+)
+from repro.netsim.clock import DAY, HOUR
+
+
+def grouping(groups):
+    return GroupingResult(
+        groups=[ServiceGroup(frozenset(domains), label=label, mechanism="stek")
+                for label, domains in groups],
+        mechanism="stek",
+    )
+
+
+def test_blast_radius_is_members_times_window():
+    g = grouping([("cdn", {"a", "b", "c"})])
+    windows = {"a": 2 * DAY, "b": 2 * DAY, "c": 2 * DAY}
+    targets = rank_targets(g, windows)
+    assert targets[0].blast_radius_domain_days == pytest.approx(6.0)
+    assert targets[0].member_domains == 3
+
+
+def test_big_short_lived_vs_small_long_lived():
+    """A huge fast-rotating group can be worth less than a small static
+    one — the paper's CloudFlare-vs-Fastly contrast."""
+    g = grouping([
+        ("cloudflare", {f"c{i}" for i in range(100)}),
+        ("fastly", {f"f{i}" for i in range(5)}),
+    ])
+    windows = {f"c{i}": 12 * HOUR for i in range(100)}
+    windows.update({f"f{i}": 63 * DAY for i in range(5)})
+    targets = rank_targets(g, windows)
+    by_label = {t.label: t for t in targets}
+    assert by_label["fastly"].blast_radius_domain_days == pytest.approx(315.0)
+    assert by_label["cloudflare"].blast_radius_domain_days == pytest.approx(50.0)
+    assert targets[0].label == "fastly"
+
+
+def test_median_window_used():
+    g = grouping([("mixed", {"a", "b", "c"})])
+    windows = {"a": 1 * DAY, "b": 3 * DAY, "c": 100 * DAY}
+    targets = rank_targets(g, windows)
+    assert targets[0].median_window_seconds == 3 * DAY
+
+
+def test_unmeasured_domains_skipped():
+    g = grouping([("partial", {"a", "b"}), ("dark", {"x"})])
+    targets = rank_targets(g, {"a": DAY})
+    labels = [t.label for t in targets]
+    assert "partial" in labels and "dark" not in labels
+
+
+def test_min_members_filter():
+    g = grouping([("big", {"a", "b"}), ("solo", {"c"})])
+    windows = {"a": DAY, "b": DAY, "c": 100 * DAY}
+    targets = rank_targets(g, windows, min_members=2)
+    assert [t.label for t in targets] == ["big"]
+
+
+def test_top_n_limit():
+    g = grouping([(f"g{i}", {f"d{i}"}) for i in range(10)])
+    windows = {f"d{i}": (i + 1) * DAY for i in range(10)}
+    targets = rank_targets(g, windows, top_n=3)
+    assert len(targets) == 3
+    assert targets[0].label == "g9"
+
+
+def test_spans_to_window_seconds():
+    entry = DomainSpans(domain="a")
+    entry.spans.append(IdentifierSpan("a", "k", 0, 5, 6))
+    assert spans_to_window_seconds({"a": entry}) == {"a": 5 * DAY}
+
+
+def test_render_ranking():
+    g = grouping([("yandex", {"y1", "y2"})])
+    text = render_target_ranking(
+        rank_targets(g, {"y1": 63 * DAY, "y2": 63 * DAY}),
+        "Targeting brief",
+    )
+    assert "Targeting brief" in text
+    assert "yandex" in text
+    assert "domain-days" in text
+
+
+def test_render_empty():
+    text = render_target_ranking([], "Nothing")
+    assert "no shared secrets" in text

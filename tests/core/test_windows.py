@@ -1,0 +1,119 @@
+"""Vulnerability-window computation tests (§6)."""
+
+from repro.core.spans import DomainSpans, IdentifierSpan
+from repro.core.windows import (
+    VulnerabilityWindow,
+    combine_windows,
+    combined_window_cdf,
+    per_mechanism_cdfs,
+    summarize_exposure,
+)
+from repro.netsim.clock import DAY, HOUR
+
+
+def spans(domain, days):
+    entry = DomainSpans(domain=domain)
+    entry.spans.append(
+        IdentifierSpan(domain=domain, identifier="k", first_day=0,
+                       last_day=days, observations=days + 1)
+    )
+    return {domain: entry}
+
+
+def test_combined_is_max_of_mechanisms():
+    window = VulnerabilityWindow(
+        domain="a", ticket_window=3 * DAY,
+        session_cache_window=300.0, dh_window=10 * DAY,
+    )
+    assert window.combined == 10 * DAY
+    assert window.dominant_mechanism == "dh"
+
+
+def test_dominant_mechanism_labels():
+    assert VulnerabilityWindow("a").dominant_mechanism == "none"
+    assert VulnerabilityWindow("a", ticket_window=1.0).dominant_mechanism == "ticket"
+    assert VulnerabilityWindow(
+        "a", session_cache_window=2.0
+    ).dominant_mechanism == "session_cache"
+
+
+def test_combine_windows_merges_sources():
+    windows = combine_windows(
+        stek_spans_by_domain=spans("a.com", 10),
+        session_lifetimes={"a.com": 600.0, "b.com": 36000.0},
+        dhe_spans_by_domain=spans("c.com", 40),
+    )
+    assert windows["a.com"].ticket_window == 10 * DAY
+    assert windows["a.com"].session_cache_window == 600.0
+    assert windows["b.com"].combined == 36000.0
+    assert windows["c.com"].dh_window == 40 * DAY
+    assert set(windows) == {"a.com", "b.com", "c.com"}
+
+
+def test_combine_windows_dh_takes_max_family():
+    windows = combine_windows(
+        dhe_spans_by_domain=spans("a.com", 5),
+        ecdhe_spans_by_domain=spans("a.com", 9),
+    )
+    assert windows["a.com"].dh_window == 9 * DAY
+
+
+def test_combine_windows_domain_universe():
+    windows = combine_windows(
+        session_lifetimes={"a.com": 10.0},
+        domains=["a.com", "quiet.com"],
+    )
+    assert windows["quiet.com"].combined == 0.0
+    assert len(windows) == 2
+
+
+def test_single_day_span_counts_zero():
+    windows = combine_windows(stek_spans_by_domain=spans("a.com", 0))
+    assert windows["a.com"].ticket_window == 0.0
+
+
+def test_summarize_exposure_thresholds():
+    windows = {
+        "h": VulnerabilityWindow("h", session_cache_window=2 * HOUR),
+        "d": VulnerabilityWindow("d", ticket_window=2 * DAY),
+        "w": VulnerabilityWindow("w", ticket_window=10 * DAY),
+        "m": VulnerabilityWindow("m", dh_window=40 * DAY),
+    }
+    summary = summarize_exposure(windows)
+    assert summary.domains == 4
+    assert summary.over_24_hours == 3
+    assert summary.over_7_days == 2
+    assert summary.over_30_days == 1
+    assert summary.fraction_over_30_days == 0.25
+
+
+def test_boundary_is_strictly_greater():
+    windows = {"x": VulnerabilityWindow("x", ticket_window=24 * HOUR)}
+    summary = summarize_exposure(windows)
+    assert summary.over_24_hours == 0
+
+
+def test_combined_window_cdf():
+    windows = {
+        "a": VulnerabilityWindow("a", ticket_window=DAY),
+        "b": VulnerabilityWindow("b"),
+    }
+    cdf = combined_window_cdf(windows)
+    assert cdf.fraction_at_most(0) == 0.5
+    assert cdf.fraction_at_most(DAY) == 1.0
+
+
+def test_per_mechanism_cdfs():
+    windows = {
+        "a": VulnerabilityWindow("a", ticket_window=DAY, dh_window=2 * DAY),
+    }
+    cdfs = per_mechanism_cdfs(windows)
+    assert cdfs["ticket"].values == (float(DAY),)
+    assert cdfs["dh"].values == (float(2 * DAY),)
+    assert cdfs["session_cache"].values == (0.0,)
+
+
+def test_empty_exposure_summary():
+    summary = summarize_exposure({})
+    assert summary.domains == 0
+    assert summary.fraction_over_24_hours == 0.0

@@ -1,0 +1,165 @@
+"""Elliptic-curve group law and ECDHE tests."""
+
+import pytest
+
+from repro.crypto import ec
+from repro.crypto.rng import DeterministicRandom
+
+ALL_CURVES = [ec.P256, ec.P224, ec.SECP128R1, ec.SECP160R1, ec.TINY]
+
+
+@pytest.mark.parametrize("curve", ALL_CURVES, ids=lambda c: c.name)
+def test_base_point_on_curve(curve):
+    assert ec.is_on_curve(curve, ec.base_point(curve))
+
+
+@pytest.mark.parametrize("curve", ALL_CURVES, ids=lambda c: c.name)
+def test_order_annihilates_base_point(curve):
+    assert ec.scalar_mult(curve, curve.n, ec.base_point(curve)) is None
+
+
+def test_point_addition_identity():
+    g = ec.base_point(ec.TINY)
+    assert ec.point_add(ec.TINY, g, None) == g
+    assert ec.point_add(ec.TINY, None, g) == g
+    assert ec.point_add(ec.TINY, None, None) is None
+
+
+def test_point_plus_negation_is_infinity():
+    g = ec.base_point(ec.TINY)
+    assert ec.point_add(ec.TINY, g, ec.point_neg(ec.TINY, g)) is None
+
+
+def test_addition_commutes():
+    g = ec.base_point(ec.TINY)
+    g2 = ec.point_double(ec.TINY, g)
+    assert ec.point_add(ec.TINY, g, g2) == ec.point_add(ec.TINY, g2, g)
+
+
+def test_addition_associates():
+    curve = ec.TINY
+    g = ec.base_point(curve)
+    p2 = ec.scalar_mult(curve, 2, g)
+    p3 = ec.scalar_mult(curve, 3, g)
+    left = ec.point_add(curve, ec.point_add(curve, g, p2), p3)
+    right = ec.point_add(curve, g, ec.point_add(curve, p2, p3))
+    assert left == right
+
+
+def test_double_equals_add_to_self():
+    g = ec.base_point(ec.TINY)
+    assert ec.point_double(ec.TINY, g) == ec.point_add(ec.TINY, g, g)
+
+
+def test_scalar_mult_matches_repeated_addition():
+    curve = ec.TINY
+    g = ec.base_point(curve)
+    acc = None
+    for k in range(1, 40):
+        acc = ec.point_add(curve, acc, g)
+        assert ec.scalar_mult(curve, k, g) == acc
+
+
+def test_scalar_mult_distributes():
+    curve = ec.TINY
+    g = ec.base_point(curve)
+    for a, b in [(2, 3), (17, 900), (curve.n - 1, 1), (123, 456)]:
+        lhs = ec.scalar_mult(curve, a + b, g)
+        rhs = ec.point_add(
+            curve, ec.scalar_mult(curve, a, g), ec.scalar_mult(curve, b, g)
+        )
+        assert lhs == rhs
+
+
+@pytest.mark.parametrize("curve", [ec.SECP128R1, ec.P256, ec.TINY], ids=lambda c: c.name)
+def test_fixed_base_matches_generic(curve):
+    rng = DeterministicRandom(77)
+    for _ in range(10):
+        k = rng.randrange(1, curve.n)
+        assert ec.scalar_mult_base(curve, k) == ec.scalar_mult(
+            curve, k, ec.base_point(curve)
+        )
+
+
+def test_scalar_mult_zero_and_infinity():
+    assert ec.scalar_mult(ec.TINY, 0, ec.base_point(ec.TINY)) is None
+    assert ec.scalar_mult(ec.TINY, 5, None) is None
+    assert ec.scalar_mult_base(ec.TINY, 0) is None
+
+
+def test_scalar_mult_rejects_off_curve_point():
+    with pytest.raises(ec.NotOnCurveError):
+        ec.scalar_mult(ec.TINY, 3, (1, 1))
+
+
+@pytest.mark.parametrize("curve", [ec.SECP128R1, ec.P256], ids=lambda c: c.name)
+def test_ecdh_agreement(curve):
+    rng = DeterministicRandom(5)
+    alice = ec.generate_keypair(curve, rng)
+    bob = ec.generate_keypair(curve, rng)
+    assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+    assert alice.shared_secret_bytes(bob.public) == bob.shared_secret_bytes(alice.public)
+
+
+def test_shared_secret_bytes_width():
+    rng = DeterministicRandom(6)
+    alice = ec.generate_keypair(ec.SECP128R1, rng)
+    bob = ec.generate_keypair(ec.SECP128R1, rng)
+    assert len(alice.shared_secret_bytes(bob.public)) == ec.SECP128R1.coordinate_bytes
+
+
+def test_shared_secret_rejects_off_curve_peer():
+    rng = DeterministicRandom(7)
+    alice = ec.generate_keypair(ec.SECP128R1, rng)
+    with pytest.raises(ec.NotOnCurveError):
+        alice.shared_secret((1, 1))
+
+
+def test_point_encoding_roundtrip():
+    rng = DeterministicRandom(8)
+    pair = ec.generate_keypair(ec.P256, rng)
+    encoded = ec.encode_point(ec.P256, pair.public)
+    assert encoded[0] == 0x04
+    assert len(encoded) == 65
+    assert ec.decode_point(ec.P256, encoded) == pair.public
+
+
+def test_decode_point_rejects_malformed():
+    with pytest.raises(ValueError):
+        ec.decode_point(ec.P256, b"\x04" + bytes(10))
+    with pytest.raises(ValueError):
+        ec.decode_point(ec.P256, b"\x02" + bytes(64))  # compressed unsupported
+
+
+def test_decode_point_rejects_off_curve():
+    bad = b"\x04" + bytes(31) + b"\x01" + bytes(31) + b"\x01"
+    with pytest.raises(ec.NotOnCurveError):
+        ec.decode_point(ec.P256, bad)
+
+
+def test_named_curve_registry_roundtrip():
+    for name, curve_id in ec.NAMED_CURVE_IDS.items():
+        assert ec.NAMED_CURVE_BY_ID[curve_id] == name
+        assert name in ec.CURVES_BY_NAME
+
+
+def test_tiny_curve_exhaustive_group_order():
+    """Every non-identity point of the tiny curve has prime order n."""
+    curve = ec.TINY
+    g = ec.base_point(curve)
+    # Walk a handful of points; multiply each by n.
+    for k in (1, 2, 3, 100, 9850):
+        point = ec.scalar_mult(curve, k, g)
+        assert ec.scalar_mult(curve, curve.n, point) is None
+
+
+def test_shared_secret_memo_consistency():
+    """Memoized shared secrets must equal fresh computations."""
+    rng = DeterministicRandom(9)
+    alice = ec.generate_keypair(ec.SECP128R1, rng)
+    bob = ec.generate_keypair(ec.SECP128R1, rng)
+    first = alice.shared_secret(bob.public)
+    second = alice.shared_secret(bob.public)  # memo hit
+    assert first == second
+    direct = ec.scalar_mult(ec.SECP128R1, alice.private, bob.public)
+    assert first == direct

@@ -1,0 +1,91 @@
+"""TLS 1.2 PRF and key-derivation tests."""
+
+import pytest
+
+from repro.crypto.prf import (
+    MASTER_SECRET_LENGTH,
+    derive_key_block,
+    derive_master_secret,
+    p_sha256,
+    prf,
+    verify_data,
+)
+
+
+def test_p_sha256_known_vector():
+    # Widely used community test vector for TLS 1.2 P_SHA256.
+    secret = bytes.fromhex("9bbe436ba940f017b17652849a71db35")
+    seed = bytes.fromhex("a0ba9f936cda311827a6f796ffd5198c")
+    label = b"test label"
+    expected = bytes.fromhex(
+        "e3f229ba727be17b8d122620557cd453c2aab21d07c3d495329b52d4e61edb5a"
+        "6b301791e90d35c9c9a46b4e14baf9af0fa022f7077def17abfd3797c0564bab"
+        "4fbc91666e9def9b97fce34f796789baa48082d122ee42c5a72e5a5110fff701"
+        "87347b66"
+    )
+    assert prf(secret, label, seed, 100) == expected
+
+
+def test_p_sha256_lengths():
+    for n in (0, 1, 31, 32, 33, 100):
+        assert len(p_sha256(b"secret", b"seed", n)) == n
+
+
+def test_p_sha256_negative_length():
+    with pytest.raises(ValueError):
+        p_sha256(b"s", b"x", -1)
+
+
+def test_prf_label_separation():
+    secret, seed = b"secret", b"seed"
+    assert prf(secret, b"label one", seed, 32) != prf(secret, b"label two", seed, 32)
+
+
+def test_master_secret_is_48_bytes_and_deterministic():
+    premaster = bytes(48)
+    cr, sr = bytes(32), bytes(range(32))
+    master = derive_master_secret(premaster, cr, sr)
+    assert len(master) == MASTER_SECRET_LENGTH == 48
+    assert master == derive_master_secret(premaster, cr, sr)
+
+
+def test_master_secret_depends_on_randoms():
+    premaster = bytes(48)
+    a = derive_master_secret(premaster, bytes(32), bytes(32))
+    b = derive_master_secret(premaster, b"\x01" + bytes(31), bytes(32))
+    assert a != b
+
+
+def test_master_secret_random_order_matters():
+    premaster = bytes(48)
+    cr, sr = bytes([1] * 32), bytes([2] * 32)
+    assert derive_master_secret(premaster, cr, sr) != derive_master_secret(
+        premaster, sr, cr
+    )
+
+
+def test_key_block_uses_flipped_random_order():
+    # RFC 5246: key expansion seeds server_random first.  With
+    # symmetric randoms the outputs would coincide; with asymmetric
+    # ones they must not equal a same-order expansion.
+    master = bytes(48)
+    cr, sr = bytes([1] * 32), bytes([2] * 32)
+    block = derive_key_block(master, cr, sr, 64)
+    flipped = derive_key_block(master, sr, cr, 64)
+    assert block != flipped
+
+
+def test_verify_data_is_12_bytes():
+    vd = verify_data(bytes(48), b"client finished", bytes(32))
+    assert len(vd) == 12
+
+
+def test_verify_data_depends_on_label_and_hash():
+    master = bytes(48)
+    h = bytes(32)
+    assert verify_data(master, b"client finished", h) != verify_data(
+        master, b"server finished", h
+    )
+    assert verify_data(master, b"client finished", h) != verify_data(
+        master, b"client finished", b"\x01" + bytes(31)
+    )

@@ -1,0 +1,114 @@
+"""RSA keygen, signing, and primality tests."""
+
+import pytest
+
+from repro.crypto import rsa
+from repro.crypto.rng import DeterministicRandom
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa.generate_keypair(512, DeterministicRandom(321))
+
+
+def test_modulus_size(keypair):
+    assert keypair.n.bit_length() == 512
+
+
+def test_sign_verify_roundtrip(keypair):
+    sig = keypair.sign(b"hello world")
+    assert keypair.public.verify(b"hello world", sig)
+
+
+def test_verify_rejects_wrong_message(keypair):
+    sig = keypair.sign(b"hello world")
+    assert not keypair.public.verify(b"hello worlds", sig)
+
+
+def test_verify_rejects_tampered_signature(keypair):
+    sig = keypair.sign(b"msg")
+    assert not keypair.public.verify(b"msg", sig ^ 1)
+    assert not keypair.public.verify(b"msg", keypair.n + 5)
+    assert not keypair.public.verify(b"msg", -1)
+
+
+def test_signature_is_deterministic(keypair):
+    assert keypair.sign(b"same") == keypair.sign(b"same")
+
+
+def test_crt_signature_matches_plain_exponentiation(keypair):
+    """The CRT shortcut must produce textbook-RSA signatures."""
+    from repro.crypto.rsa import _encode_digest
+
+    message = b"crt check"
+    expected = pow(_encode_digest(message, keypair.n), keypair.d, keypair.n)
+    assert keypair.sign(message) == expected
+
+
+def test_private_key_consistency(keypair):
+    assert keypair.p * keypair.q == keypair.n
+    phi = (keypair.p - 1) * (keypair.q - 1)
+    assert keypair.d * keypair.e % phi == 1
+
+
+def test_decrypt_raw_inverts_encrypt(keypair):
+    plain = 0x1234567890ABCDEF
+    cipher = pow(plain, keypair.e, keypair.n)
+    assert keypair.decrypt_raw(cipher) == plain
+
+
+def test_decrypt_raw_rejects_out_of_range(keypair):
+    with pytest.raises(ValueError):
+        keypair.decrypt_raw(keypair.n)
+    with pytest.raises(ValueError):
+        keypair.decrypt_raw(-1)
+
+
+def test_fingerprint_stable_and_distinct(keypair):
+    other = rsa.generate_keypair(512, DeterministicRandom(654))
+    assert keypair.public.fingerprint() == keypair.public.fingerprint()
+    assert keypair.public.fingerprint() != other.public.fingerprint()
+    assert len(keypair.public.fingerprint()) == 8
+
+
+def test_different_seeds_different_keys():
+    a = rsa.generate_keypair(256, DeterministicRandom(1))
+    b = rsa.generate_keypair(256, DeterministicRandom(2))
+    assert a.n != b.n
+
+
+def test_keygen_rejects_tiny_modulus():
+    with pytest.raises(ValueError):
+        rsa.generate_keypair(32, DeterministicRandom(1))
+
+
+def test_is_probable_prime_known_values():
+    rng = DeterministicRandom(9)
+    for prime in (2, 3, 5, 101, 65537, 2**61 - 1):
+        assert rsa.is_probable_prime(prime, rng)
+    for composite in (0, 1, 4, 100, 65537 * 3, (2**31 - 1) * (2**13 - 1)):
+        assert not rsa.is_probable_prime(composite, rng)
+
+
+def test_is_probable_prime_carmichael():
+    # 561 = 3·11·17 fools Fermat but not Miller-Rabin.
+    assert not rsa.is_probable_prime(561, DeterministicRandom(10))
+
+
+def test_generate_prime_has_exact_bits():
+    rng = DeterministicRandom(11)
+    for bits in (64, 128, 256):
+        p = rsa.generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert rsa.is_probable_prime(p, rng)
+
+
+def test_generate_prime_rejects_tiny():
+    with pytest.raises(ValueError):
+        rsa.generate_prime(4, DeterministicRandom(1))
+
+
+def test_cross_key_verification_fails(keypair):
+    other = rsa.generate_keypair(512, DeterministicRandom(777))
+    sig = keypair.sign(b"message")
+    assert not other.public.verify(b"message", sig)

@@ -1,0 +1,55 @@
+"""ASCII figure rendering tests."""
+
+from repro.core.cdf import CDF
+from repro.figures.plots import ascii_cdf, multi_cdf_table
+from repro.netsim.clock import HOUR, MINUTE
+
+
+def test_ascii_cdf_renders():
+    cdf = CDF([60, 300, 300, 3600, 36000])
+    text = ascii_cdf(cdf, "Session ID Lifetime")
+    assert "Session ID Lifetime" in text
+    assert "#" in text
+    assert "100%" in text
+
+
+def test_ascii_cdf_empty():
+    assert "(no data)" in ascii_cdf(CDF([]), "Empty")
+
+
+def test_ascii_cdf_monotone_columns():
+    cdf = CDF([1, 10, 100, 1000])
+    text = ascii_cdf(cdf, "t", width=40, height=8)
+    rows = [line[6:] for line in text.splitlines() if "|" in line]
+    # In every row, once '#' starts it continues to the right margin
+    # minus trailing blanks — i.e. filled region is a suffix.
+    for row in rows:
+        stripped = row.rstrip()
+        if "#" in stripped:
+            first = stripped.index("#")
+            assert set(stripped[first:]) == {"#"}
+
+
+def test_ascii_cdf_single_value():
+    text = ascii_cdf(CDF([300.0]), "Single")
+    assert "#" in text
+
+
+def test_ascii_cdf_labels():
+    cdf = CDF([MINUTE, HOUR])
+    text = ascii_cdf(cdf, "t", x_label="honored lifetime")
+    assert "honored lifetime" in text
+
+
+def test_multi_cdf_table():
+    cdfs = {
+        "Top 100": CDF([0, 1, 40]),
+        "Top 1K": CDF([0, 0, 0, 7]),
+    }
+    text = multi_cdf_table(cdfs, thresholds=[1, 7, 30], formatter=lambda d: f"{d}d",
+                           title="STEK spans by tier")
+    assert "STEK spans by tier" in text
+    assert "Top 100" in text and "Top 1K" in text
+    assert "<=1d" in text and "<=30d" in text
+    # Top 100: 2 of 3 values <= 1 day -> 67%.
+    assert "67%" in text

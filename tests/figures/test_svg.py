@@ -1,0 +1,83 @@
+"""SVG figure rendering tests."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.core.cdf import CDF
+from repro.figures.svg import cdf_svg, treemap_svg
+from repro.figures.treemap import layout_treemap
+from repro.netsim.clock import DAY, HOUR, MINUTE
+
+
+def parse(svg: str) -> ElementTree.Element:
+    return ElementTree.fromstring(svg)
+
+
+def test_cdf_svg_is_wellformed_xml():
+    svg = cdf_svg({"sessions": CDF([MINUTE, 5 * MINUTE, HOUR, DAY])},
+                  title="Figure 1", x_label="honored delay")
+    root = parse(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_cdf_svg_contains_title_and_legend():
+    svg = cdf_svg({"DHE": CDF([1, 2]), "ECDHE": CDF([1, 2, 3])}, title="Fig 5")
+    assert "Fig 5" in svg
+    assert "DHE (n=2)" in svg
+    assert "ECDHE (n=3)" in svg
+
+
+def test_cdf_svg_has_one_path_per_series():
+    svg = cdf_svg({"a": CDF([1, 10]), "b": CDF([2, 20]), "c": CDF([3])},
+                  title="t")
+    assert svg.count("<path") == 3
+
+
+def test_cdf_svg_empty_series():
+    svg = cdf_svg({"empty": CDF([])}, title="none")
+    parse(svg)  # still well-formed
+    assert "empty (n=0)" in svg
+
+
+def test_cdf_svg_escapes_labels():
+    svg = cdf_svg({"<&>": CDF([1])}, title='"quoted" & <tagged>')
+    parse(svg)
+    assert "&lt;tagged&gt;" in svg
+
+
+def test_cdf_svg_linear_axis():
+    svg = cdf_svg({"days": CDF([0.5, 5, 30])}, title="t", log_x=False,
+                  x_formatter=lambda d: f"{d:.0f}d", x_min=0.5)
+    parse(svg)
+    assert "d</text>" in svg
+
+
+def test_treemap_svg_wellformed_and_colored():
+    cells = layout_treemap([
+        ("cloudflare", 600, 12 * HOUR),
+        ("tmall", 33, 63 * DAY),
+    ])
+    svg = treemap_svg(cells, title="Figure 6")
+    parse(svg)
+    assert "#4ac26b" in svg   # green for sub-24 h
+    assert "#d1242f" in svg   # red for 30+ d
+    assert "Figure 6" in svg
+
+
+def test_treemap_svg_tooltips():
+    cells = layout_treemap([("google", 90, 14 * HOUR)])
+    svg = treemap_svg(cells, title="t")
+    assert "<title>google: 90 domains" in svg
+
+
+def test_treemap_svg_empty():
+    svg = treemap_svg([], title="empty")
+    parse(svg)
+
+
+def test_treemap_rect_count():
+    groups = [(f"g{i}", 10 + i, HOUR) for i in range(6)]
+    svg = treemap_svg(layout_treemap(groups), title="t")
+    # 6 cells + background + 4 legend swatches.
+    assert svg.count("<rect") == 6 + 1 + 4

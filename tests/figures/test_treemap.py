@@ -1,0 +1,83 @@
+"""Treemap layout tests (Figures 6/7)."""
+
+import pytest
+
+from repro.figures.treemap import (
+    layout_treemap,
+    render_treemap,
+    severity_histogram,
+)
+from repro.netsim.clock import DAY, HOUR
+
+
+GROUPS = [
+    ("cloudflare", 600, 12 * HOUR),
+    ("google", 90, 14 * HOUR),
+    ("tmall", 33, 63 * DAY),
+    ("fastly", 6, 63 * DAY),
+    ("jackhenry", 1, 59 * DAY),
+]
+
+
+def test_cells_cover_unit_square():
+    cells = layout_treemap(GROUPS)
+    total_area = sum(cell.width * cell.height for cell in cells)
+    assert total_area == pytest.approx(1.0)
+
+
+def test_area_proportional_to_size():
+    cells = layout_treemap(GROUPS)
+    total = sum(size for _, size, _ in GROUPS)
+    for cell in cells:
+        assert cell.width * cell.height == pytest.approx(cell.size / total)
+
+
+def test_cells_within_bounds():
+    for cell in layout_treemap(GROUPS):
+        assert 0 <= cell.x <= 1 and 0 <= cell.y <= 1
+        assert cell.x + cell.width <= 1 + 1e-9
+        assert cell.y + cell.height <= 1 + 1e-9
+
+
+def test_no_overlap():
+    cells = layout_treemap(GROUPS)
+    for i, a in enumerate(cells):
+        for b in cells[i + 1:]:
+            overlap_w = min(a.x + a.width, b.x + b.width) - max(a.x, b.x)
+            overlap_h = min(a.y + a.height, b.y + b.height) - max(a.y, b.y)
+            assert overlap_w <= 1e-9 or overlap_h <= 1e-9
+
+
+def test_severity_scale():
+    cells = {cell.label: cell for cell in layout_treemap(GROUPS)}
+    assert cells["cloudflare"].severity == "green"
+    assert cells["tmall"].severity == "red"
+    assert cells["jackhenry"].severity == "red"
+
+
+def test_severity_boundaries():
+    cells = layout_treemap([
+        ("a", 1, 24 * HOUR), ("b", 1, 7 * DAY), ("c", 1, 30 * DAY),
+        ("d", 1, 23 * HOUR),
+    ])
+    by_label = {cell.label: cell.severity for cell in cells}
+    assert by_label == {"a": "yellow", "b": "orange", "c": "red", "d": "green"}
+
+
+def test_empty_layout():
+    assert layout_treemap([]) == []
+
+
+def test_render_treemap():
+    text = render_treemap(layout_treemap(GROUPS), title="Figure 6")
+    assert "Figure 6" in text
+    assert "#" in text   # the 30+ day red groups
+    assert "." in text   # the <24 h green groups
+    assert "legend" in text
+
+
+def test_severity_histogram():
+    histogram = severity_histogram(layout_treemap(GROUPS))
+    assert histogram["red"] == 33 + 6 + 1
+    assert histogram["green"] == 690
+    assert histogram["orange"] == 0

@@ -1,0 +1,183 @@
+"""Ecosystem builder and dynamics tests."""
+
+import pytest
+
+from repro.hosting import EcosystemConfig, build_ecosystem
+from repro.hosting.notable import NOTABLE_DOMAINS
+from repro.netsim.clock import DAY
+
+
+@pytest.fixture(scope="module")
+def eco():
+    return build_ecosystem(EcosystemConfig(population=460, seed=7))
+
+
+def test_population_size(eco):
+    assert len(eco.active_domains(0)) == 460
+
+
+def test_build_is_deterministic():
+    a = build_ecosystem(EcosystemConfig(population=380, seed=3))
+    b = build_ecosystem(EcosystemConfig(population=380, seed=3))
+    assert [d.name for d in a.active_domains(0)] == [d.name for d in b.active_domains(0)]
+    assert [d.rank for d in a.active_domains(0)] == [d.rank for d in b.active_domains(0)]
+
+
+def test_ranks_unique_and_dense(eco):
+    ranks = sorted(d.rank for d in eco.active_domains(0))
+    assert len(ranks) == len(set(ranks))
+    assert ranks[0] == 1
+    # Pinned notable ranks may exceed the scaled population (e.g.
+    # symanteccloud.com at its paper rank 4120); everything else is
+    # densely packed into 1..population.
+    within = [r for r in ranks if r <= 460]
+    assert len(within) >= 440
+
+
+def test_notable_domains_pinned(eco):
+    for spec in NOTABLE_DOMAINS:
+        domain = eco.domain(spec.name)
+        assert domain.rank == spec.rank
+        assert domain.notable
+
+
+def test_provider_domains_exist(eco):
+    providers = {d.provider for d in eco.domains if d.provider}
+    assert "cloudflare" in providers and "google" in providers
+
+
+def test_provider_shares_stek_store(eco):
+    cloudflare = [d for d in eco.domains if d.provider == "cloudflare"]
+    stores = {id(d.stek_store) for d in cloudflare}
+    assert len(stores) == 1  # one STEK group
+
+
+def test_cloudflare_two_cache_groups(eco):
+    cloudflare = [d for d in eco.domains if d.provider == "cloudflare"]
+    caches = {id(d.session_cache) for d in cloudflare}
+    assert len(caches) == 2
+
+
+def test_google_named_services_present(eco):
+    google = eco.domain("google.com")
+    assert google.provider == "google"
+    youtube = eco.domain("youtube.com")
+    assert id(google.stek_store) == id(youtube.stek_store)
+
+
+def test_yandex_group_never_rotates(eco):
+    yandex = eco.domain("yandex.ru")
+    key_before = yandex.stek_store.current.key_name
+    eco.advance_days(5)
+    assert yandex.stek_store.current.key_name == key_before
+
+
+def test_rotations_fire(eco_factory=None):
+    eco2 = build_ecosystem(EcosystemConfig(population=400, seed=9))
+    google = eco2.domain("google.com")
+    key_before = google.stek_store.current.key_name
+    eco2.advance_days(1)  # google rotates every 14 h
+    assert google.stek_store.current.key_name != key_before
+    assert eco2.stek_rotations_performed > 0
+
+
+def test_notable_stek_rotation_schedule():
+    eco2 = build_ecosystem(EcosystemConfig(population=400, seed=10))
+    fc2 = eco2.domain("fc2.com")  # rotates every 18 days
+    key_before = fc2.stek_store.current.key_name
+    eco2.advance_days(17)
+    assert fc2.stek_store.current.key_name == key_before
+    eco2.advance_days(2)
+    assert fc2.stek_store.current.key_name != key_before
+
+
+def test_churn_replaces_domains():
+    eco2 = build_ecosystem(
+        EcosystemConfig(population=400, seed=11, churn_daily_fraction=0.02)
+    )
+    day0 = {d.name for d in eco2.active_domains(0)}
+    eco2.advance_days(5)
+    day5 = {d.name for d in eco2.active_domains(5)}
+    assert len(day5) == len(day0)
+    assert day0 != day5
+    left = day0 - day5
+    assert left and all(name.startswith("site") for name in left)
+
+
+def test_churn_never_touches_notable_or_provider():
+    eco2 = build_ecosystem(
+        EcosystemConfig(population=400, seed=12, churn_daily_fraction=0.05)
+    )
+    eco2.advance_days(6)
+    active = {d.name for d in eco2.active_domains(6)}
+    for spec in NOTABLE_DOMAINS:
+        assert spec.name in active
+
+
+def test_always_present_excludes_churned():
+    eco2 = build_ecosystem(
+        EcosystemConfig(population=400, seed=13, churn_daily_fraction=0.02)
+    )
+    eco2.advance_days(5)
+    always = {d.name for d in eco2.always_present_domains(5)}
+    active0 = {d.name for d in eco2.active_domains(0)}
+    active5 = {d.name for d in eco2.active_domains(5)}
+    assert always <= active0 and always <= active5
+
+
+def test_alexa_list_sorted_by_rank(eco):
+    listing = eco.alexa_list(0)
+    assert listing == sorted(listing)
+
+
+def test_https_domains_have_endpoints(eco):
+    for domain in eco.active_domains(0)[:80]:
+        if not domain.https:
+            continue
+        address = eco.dns.resolve_all(domain.name)[0]
+        assert eco.network.endpoint_at(address) is not None
+
+
+def test_dark_domains_unreachable(eco):
+    from repro.netsim.dns import NXDomainError
+    from repro.netsim.network import ConnectTimeout
+
+    dark = [d for d in eco.active_domains(0) if not d.https]
+    assert dark
+    for domain in dark[:10]:
+        try:
+            address = eco.dns.resolve_all(domain.name)[0]
+        except NXDomainError:
+            continue
+        assert eco.network.endpoint_at(address) is None
+
+
+def test_blacklist_populated(eco):
+    assert eco.blacklist
+    assert all(eco.domain(name).provider is None for name in eco.blacklist)
+
+
+def test_mx_records_present(eco):
+    from repro.hosting.ecosystem import GOOGLE_MX_HOST
+
+    pointing = sum(
+        1 for _, name in eco.alexa_list(0) if GOOGLE_MX_HOST in eco.dns.mx(name)
+    )
+    assert pointing > 0
+
+
+def test_ground_truth_group_accessors(eco):
+    stek_groups = eco.ground_truth_stek_groups()
+    assert any(len(members) > 10 for members in stek_groups.values())
+    cache_groups = eco.ground_truth_cache_groups()
+    assert any(len(members) > 10 for members in cache_groups.values())
+
+
+def test_population_too_small_rejected():
+    with pytest.raises(ValueError):
+        build_ecosystem(EcosystemConfig(population=100, seed=1))
+
+
+def test_time_cannot_go_backwards(eco):
+    with pytest.raises(ValueError):
+        eco.advance_to(eco.clock.now() - 1)

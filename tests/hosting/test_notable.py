@@ -1,0 +1,78 @@
+"""Notable-domain table tests."""
+
+from repro.hosting.notable import NOTABLE_BY_NAME, NOTABLE_DOMAINS, STUDY_DAYS
+from repro.netsim.clock import DAY
+
+
+def test_names_and_ranks_unique():
+    names = [d.name for d in NOTABLE_DOMAINS]
+    ranks = [d.rank for d in NOTABLE_DOMAINS]
+    assert len(names) == len(set(names))
+    assert len(ranks) == len(set(ranks))
+
+
+def test_paper_table2_rows_present():
+    for name, days in [
+        ("yahoo.com", 63), ("qq.com", 56), ("taobao.com", 63),
+        ("pinterest.com", 63), ("netflix.com", 54), ("imgur.com", 63),
+        ("fc2.com", 18), ("pornhub.com", 29),
+    ]:
+        assert NOTABLE_BY_NAME[name].stek_days == days
+
+
+def test_paper_table3_rows_present():
+    for name, days in [
+        ("netflix.com", 59), ("ebay.in", 7), ("cbssports.com", 60),
+        ("cookpad.com", 63), ("kayak.com", 13),
+    ]:
+        assert NOTABLE_BY_NAME[name].dhe_days == days
+
+
+def test_paper_table4_rows_present():
+    for name, days in [
+        ("whatsapp.com", 62), ("vice.com", 26), ("9gag.com", 31),
+        ("woot.com", 62), ("leagueoflegends.com", 27),
+    ]:
+        assert NOTABLE_BY_NAME[name].ecdhe_days == days
+
+
+def test_rank_ordering_matches_paper():
+    assert NOTABLE_BY_NAME["yahoo.com"].rank == 5
+    assert NOTABLE_BY_NAME["netflix.com"].rank == 31
+    assert NOTABLE_BY_NAME["whatsapp.com"].rank == 74
+
+
+def test_stek_rotation_interval_reproduces_span():
+    fc2 = NOTABLE_BY_NAME["fc2.com"]
+    assert fc2.stek_rotation == 18 * DAY
+    yahoo = NOTABLE_BY_NAME["yahoo.com"]
+    assert yahoo.stek_rotation is None  # never rotates within the study
+
+
+def test_default_rotation_for_daily_rotators():
+    assert NOTABLE_BY_NAME["twitter.com"].stek_rotation == DAY
+    assert NOTABLE_BY_NAME["baidu.com"].stek_rotation == DAY
+
+
+def test_reuse_lifetime_semantics():
+    netflix = NOTABLE_BY_NAME["netflix.com"]
+    assert netflix.dhe_reuse == 59 * DAY
+    cookpad = NOTABLE_BY_NAME["cookpad.com"]
+    assert cookpad.dhe_reuse == float("inf")  # 63 d ≈ never within study
+    yahoo = NOTABLE_BY_NAME["yahoo.com"]
+    assert yahoo.dhe_reuse is None  # no DHE reuse reported
+
+
+def test_whatsapp_has_no_dhe():
+    assert not NOTABLE_BY_NAME["whatsapp.com"].supports_dhe
+
+
+def test_facebook_long_session_cache():
+    assert NOTABLE_BY_NAME["facebook.com"].session_cache_lifetime > 24 * 3600
+
+
+def test_spans_within_study_bounds():
+    for domain in NOTABLE_DOMAINS:
+        for days in (domain.stek_days, domain.dhe_days, domain.ecdhe_days):
+            if days is not None:
+                assert 0 < days <= STUDY_DAYS

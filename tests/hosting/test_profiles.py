@@ -1,0 +1,131 @@
+"""Behavior-profile sampling tests (calibration sanity)."""
+
+from repro.crypto.rng import DeterministicRandom
+from repro.hosting.profiles import (
+    DomainBehavior,
+    P_HTTPS,
+    P_ISSUE_SESSION_IDS,
+    P_ISSUE_TICKETS,
+    sample_behavior,
+    weighted_choice,
+)
+from repro.netsim.clock import DAY, HOUR, MINUTE
+
+
+def sample_many(n=4000, seed=3):
+    rng = DeterministicRandom(seed)
+    return [sample_behavior(rng) for _ in range(n)]
+
+
+def test_weighted_choice_respects_weights():
+    rng = DeterministicRandom(1)
+    table = (("a", 0.9), ("b", 0.1))
+    draws = [weighted_choice(rng, table) for _ in range(2000)]
+    a_count = draws.count("a")
+    assert 1650 < a_count < 1950
+
+
+def test_weighted_choice_single_entry():
+    rng = DeterministicRandom(2)
+    assert weighted_choice(rng, (("only", 1.0),)) == "only"
+
+
+def test_https_rate_near_target():
+    samples = sample_many()
+    rate = sum(1 for s in samples if s.https) / len(samples)
+    assert abs(rate - P_HTTPS) < 0.03
+
+
+def test_non_https_domains_have_no_tls_behavior():
+    samples = [s for s in sample_many() if not s.https]
+    assert samples
+    assert all(not s.trusted_cert for s in samples)
+
+
+def test_session_id_issue_rate():
+    https = [s for s in sample_many() if s.https]
+    rate = sum(1 for s in https if s.issue_session_ids) / len(https)
+    assert abs(rate - P_ISSUE_SESSION_IDS) < 0.02
+
+
+def test_session_resume_rate_near_83_percent():
+    https = [s for s in sample_many() if s.https]
+    rate = sum(1 for s in https if s.resumes_session_ids) / len(https)
+    assert 0.78 < rate < 0.88
+
+
+def test_ticket_issue_rate():
+    https = [s for s in sample_many() if s.https]
+    rate = sum(1 for s in https if s.tickets) / len(https)
+    assert abs(rate - P_ISSUE_TICKETS) < 0.03
+
+
+def test_cache_lifetime_distribution_shape():
+    """Paper Fig. 1: 61% < 5 min... meaning <= 300 s here, 82% <= 1 h."""
+    caching = [
+        s.session_cache_lifetime
+        for s in sample_many(8000)
+        if s.https and s.resumes_session_ids
+    ]
+    at_most_5m = sum(1 for v in caching if v <= 5 * MINUTE) / len(caching)
+    at_most_1h = sum(1 for v in caching if v <= HOUR) / len(caching)
+    assert 0.55 < at_most_5m < 0.68
+    assert 0.77 < at_most_1h < 0.88
+
+
+def test_stek_rotation_distribution_shape():
+    """§6.1: of issuers, ~36% >= 1 day, ~22% > 7 d, ~10% > 30 d."""
+    issuers = [s for s in sample_many(8000) if s.https and s.tickets]
+    rotations = [s.stek_rotation_seconds for s in issuers]
+    def frac(predicate):
+        return sum(1 for r in rotations if predicate(r)) / len(rotations)
+    over_1d = frac(lambda r: r is None or r > DAY)
+    over_7d = frac(lambda r: r is None or r > 7 * DAY)
+    over_30d = frac(lambda r: r is None or r > 30 * DAY)
+    assert 0.28 < over_1d < 0.45
+    assert 0.14 < over_7d < 0.30
+    assert 0.05 < over_30d < 0.16
+
+
+def test_kex_reuse_rates():
+    https = [s for s in sample_many(8000) if s.https]
+    dhe_capable = [s for s in https if s.supports_dhe]
+    ecdhe_capable = [s for s in https if s.supports_ecdhe]
+    dhe_rate = sum(1 for s in dhe_capable if s.dhe_reuse_seconds is not None) / len(dhe_capable)
+    ecdhe_rate = sum(1 for s in ecdhe_capable if s.ecdhe_reuse_seconds is not None) / len(ecdhe_capable)
+    assert 0.05 < dhe_rate < 0.10      # target 7.2%
+    assert 0.12 < ecdhe_rate < 0.19    # target 15.5%
+
+
+def test_reuse_never_is_infinite_not_none():
+    samples = sample_many(8000)
+    reusers = [s.ecdhe_reuse_seconds for s in samples if s.ecdhe_reuse_seconds is not None]
+    assert any(v == float("inf") for v in reusers)
+    assert all(v > 0 for v in reusers)
+
+
+def test_hint_mostly_matches_window():
+    issuers = [s for s in sample_many(6000) if s.https and s.tickets]
+    matching = sum(
+        1 for s in issuers if s.ticket_hint_seconds == int(s.ticket_window_seconds)
+    )
+    assert matching / len(issuers) > 0.9
+
+
+def test_some_hints_unspecified():
+    issuers = [s for s in sample_many(8000) if s.https and s.tickets]
+    unspecified = sum(1 for s in issuers if s.ticket_hint_seconds == 0)
+    assert unspecified > 0
+
+
+def test_default_behavior_is_sane():
+    behavior = DomainBehavior()
+    assert behavior.https and behavior.trusted_cert
+    assert behavior.resumes_session_ids
+    assert behavior.ticket_window_seconds == 5 * MINUTE
+
+
+def test_sampling_is_deterministic():
+    a = sample_many(100, seed=5)
+    b = sample_many(100, seed=5)
+    assert a == b

@@ -1,0 +1,87 @@
+"""Provider catalog tests."""
+
+from repro.hosting.providers import PROVIDERS, PROVIDERS_BY_NAME
+from repro.netsim.clock import DAY, HOUR
+
+
+def test_catalog_names_unique():
+    names = [spec.name for spec in PROVIDERS]
+    assert len(names) == len(set(names))
+    assert PROVIDERS_BY_NAME["cloudflare"].asn == 13335
+
+
+def test_asns_unique():
+    asns = [spec.asn for spec in PROVIDERS]
+    assert len(asns) == len(set(asns))
+
+
+def test_cluster_weights_positive():
+    for spec in PROVIDERS:
+        assert spec.clusters
+        assert all(cluster.weight > 0 for cluster in spec.clusters)
+
+
+def test_scaled_customers_proportional_with_floor():
+    cloudflare = PROVIDERS_BY_NAME["cloudflare"]
+    assert cloudflare.scaled_customers(1_000_000) == cloudflare.customers_at_1m
+    tiny = cloudflare.scaled_customers(1000)
+    assert tiny == max(cloudflare.min_customers, round(cloudflare.customers_at_1m / 1000))
+    assert cloudflare.scaled_customers(10) == cloudflare.min_customers
+
+
+def test_cloudflare_shape_matches_paper():
+    spec = PROVIDERS_BY_NAME["cloudflare"]
+    # Two session-cache groups, one shared STEK (§5.1/§5.2).
+    assert len({c.cache_group for c in spec.clusters}) == 2
+    assert len({c.stek_group for c in spec.clusters}) == 1
+    assert spec.ticket_window == 18 * HOUR
+    assert spec.stek_rotation is not None and spec.stek_rotation < DAY
+
+
+def test_google_shape_matches_paper():
+    spec = PROVIDERS_BY_NAME["google"]
+    assert spec.stek_rotation == 14 * HOUR
+    assert spec.ticket_window == 28 * HOUR
+    assert len({c.cache_group for c in spec.clusters}) == 6
+    assert len({c.stek_group for c in spec.clusters}) == 1
+    named = [n for c in spec.clusters for n in c.named_domains]
+    assert "google.com" in named and "youtube.com" in named
+
+
+def test_never_rotating_providers():
+    for name in ("tmall", "fastly", "yandex"):
+        assert PROVIDERS_BY_NAME[name].stek_rotation is None
+
+
+def test_jackhenry_rotation_once_during_study():
+    spec = PROVIDERS_BY_NAME["jackhenry"]
+    assert spec.stek_rotation == 59 * DAY
+    assert spec.stek_retain == 0
+
+
+def test_dh_sharing_providers_have_dh_groups():
+    for name in ("squarespace", "livejournal", "jimdo", "affinity", "hostway"):
+        spec = PROVIDERS_BY_NAME[name]
+        assert any(c.dh_group is not None for c in spec.clusters), name
+
+
+def test_hostway_is_dhe_only():
+    spec = PROVIDERS_BY_NAME["hostway"]
+    assert spec.supports_dhe and not spec.supports_ecdhe
+    # One shared DH group across all four clusters.
+    assert len({c.dh_group for c in spec.clusters}) == 1
+
+
+def test_tumblr_three_separate_stek_groups():
+    spec = PROVIDERS_BY_NAME["tumblr"]
+    assert len({c.stek_group for c in spec.clusters}) == 3
+
+
+def test_group_ordering_preserved_by_scaling():
+    """Table 6 ordering: cloudflare > google > automattic > tmall..."""
+    sizes = {
+        name: PROVIDERS_BY_NAME[name].scaled_customers(50_000)
+        for name in ("cloudflare", "google", "automattic", "tmall", "godaddy")
+    }
+    assert sizes["cloudflare"] > sizes["google"] > sizes["automattic"]
+    assert sizes["automattic"] >= sizes["tmall"] > sizes["godaddy"]

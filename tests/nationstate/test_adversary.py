@@ -1,0 +1,197 @@
+"""Passive collector and retrospective-decryption tests."""
+
+import pytest
+
+from helpers import make_rig
+
+from repro.nationstate.adversary import (
+    NationStateAttacker,
+    PassiveCollector,
+    reconstruct_connection,
+)
+from repro.tls.keyexchange import KexReusePolicy, ReuseMode
+from repro.tls.ticket import generate_stek
+
+
+def captured_connection(rig, domain="example.com", request=b"GET /secret", **kwargs):
+    result = rig.client.connect(rig.server, domain, capture=True, **kwargs)
+    assert result.ok, result.error
+    rig.client.exchange_data(result, request)
+    return result
+
+
+def test_reconstruction_from_wire_bytes():
+    rig = make_rig()
+    result = captured_connection(rig)
+    recorded = reconstruct_connection("example.com", 0.0, result.captured)
+    assert recorded.client_random == result.client_random
+    assert recorded.server_random == result.server_random
+    assert recorded.cipher_suite is result.cipher_suite
+    assert recorded.issued_ticket == result.new_ticket.ticket
+    assert recorded.server_kex_ecdhe is not None
+    assert recorded.client_kex_public
+    assert len(recorded.app_records) == 2  # request + response
+
+
+def test_collector_accumulates():
+    rig = make_rig()
+    collector = PassiveCollector()
+    for _ in range(3):
+        result = captured_connection(rig)
+        collector.intercept("example.com", rig.clock.now(), result.captured)
+    assert len(collector) == 3
+
+
+def test_stek_theft_decrypts_recorded_traffic():
+    rig = make_rig()
+    collector = PassiveCollector()
+    result = captured_connection(rig, request=b"GET /inbox HTTP/1.1")
+    collector.intercept("example.com", rig.clock.now(), result.captured)
+
+    attacker = NationStateAttacker()
+    attacker.steal_steks(rig.stek_store.all_keys)
+    outcomes = attacker.decrypt_all(collector)
+    assert outcomes[0].success
+    assert outcomes[0].method == "stek"
+    assert any(b"GET /inbox" in p for p in outcomes[0].plaintexts)
+    assert outcomes[0].master_secret == result.session.master_secret
+
+
+def test_wrong_stek_fails():
+    rig = make_rig()
+    result = captured_connection(rig)
+    recorded = reconstruct_connection("example.com", 0.0, result.captured)
+    attacker = NationStateAttacker()
+    attacker.steal_steks([generate_stek(rig.client._rng, 0.0)])
+    assert not attacker.decrypt(recorded).success
+
+
+def test_no_secrets_no_decryption():
+    rig = make_rig()
+    result = captured_connection(rig)
+    recorded = reconstruct_connection("example.com", 0.0, result.captured)
+    outcome = NationStateAttacker().decrypt(recorded)
+    assert not outcome.success
+    assert "no stolen secret" in outcome.detail
+
+
+def test_rotated_stek_still_decrypts_older_capture():
+    """Stealing current+retained keys covers the acceptance window."""
+    rig = make_rig(stek_retain=1)
+    result = captured_connection(rig)
+    recorded = reconstruct_connection("example.com", 0.0, result.captured)
+    rig.stek_store.rotate(generate_stek(rig.client._rng, 100.0))
+    attacker = NationStateAttacker()
+    attacker.steal_steks(rig.stek_store.all_keys)  # current + previous
+    assert attacker.decrypt(recorded).success
+
+
+def test_session_cache_theft_decrypts():
+    rig = make_rig(tickets=False, cache_lifetime=3600.0)
+    collector = PassiveCollector()
+    result = captured_connection(rig, request=b"POST /login")
+    collector.intercept("example.com", rig.clock.now(), result.captured)
+
+    attacker = NationStateAttacker()
+    stolen = attacker.steal_session_cache(rig.session_cache, now=rig.clock.now())
+    assert stolen == 1
+    outcome = attacker.decrypt_all(collector)[0]
+    assert outcome.success
+    assert outcome.method == "session_cache"
+    assert any(b"POST /login" in p for p in outcome.plaintexts)
+
+
+def test_expired_cache_yields_nothing():
+    rig = make_rig(tickets=False, cache_lifetime=300.0)
+    result = captured_connection(rig)
+    recorded = reconstruct_connection("example.com", 0.0, result.captured)
+    rig.clock.advance(301)
+    attacker = NationStateAttacker()
+    assert attacker.steal_session_cache(rig.session_cache, rig.clock.now()) == 0
+    assert not attacker.decrypt(recorded).success
+
+
+def test_dh_value_theft_decrypts_ecdhe():
+    rig = make_rig(
+        tickets=False, cache_lifetime=None,
+        kex_policy=KexReusePolicy(ReuseMode.PROCESS_LIFETIME),
+    )
+    collector = PassiveCollector()
+    result = captured_connection(rig, request=b"GET /account")
+    collector.intercept("example.com", rig.clock.now(), result.captured)
+
+    attacker = NationStateAttacker()
+    attacker.steal_kex_values(ec_keypair=rig.server.kex_cache.current_ec)
+    outcome = attacker.decrypt_all(collector)[0]
+    assert outcome.success
+    assert outcome.method == "dh"
+    assert any(b"GET /account" in p for p in outcome.plaintexts)
+
+
+def test_dh_value_theft_decrypts_dhe():
+    from repro.tls.ciphers import DHE_ONLY_OFFER
+
+    rig = make_rig(
+        tickets=False, cache_lifetime=None,
+        kex_policy=KexReusePolicy(ReuseMode.PROCESS_LIFETIME),
+    )
+    result = captured_connection(rig, offer=DHE_ONLY_OFFER, request=b"DHE data")
+    recorded = reconstruct_connection("example.com", 0.0, result.captured)
+    attacker = NationStateAttacker()
+    attacker.steal_kex_values(dh_keypair=rig.server.kex_cache.current_dh)
+    outcome = attacker.decrypt(recorded)
+    assert outcome.success and outcome.method == "dh"
+
+
+def test_rotated_dh_value_fails():
+    """A fresh-value server leaks nothing useful after the connection."""
+    rig = make_rig(tickets=False, cache_lifetime=None)  # FRESH policy
+    result = captured_connection(rig)
+    recorded = reconstruct_connection("example.com", 0.0, result.captured)
+    # The value cached *now* post-dates the recorded connection.
+    attacker = NationStateAttacker()
+    later = rig.client.connect(rig.server, "example.com")
+    assert later.ok
+    attacker.steal_kex_values(ec_keypair=rig.server.kex_cache.current_ec)
+    assert not attacker.decrypt(recorded).success
+
+
+def test_forward_secret_connection_without_shortcuts_is_safe():
+    """No tickets, no cache, fresh values: a *later* compromise of the
+    server's state yields nothing about the recorded connection.
+
+    (A fresh-per-handshake server still holds the last value until the
+    next handshake overwrites it — the paper's point that "we cannot
+    tell whether it has securely erased the secrets" — so the theft
+    here happens after a subsequent handshake.)"""
+    rig = make_rig(tickets=False, cache_lifetime=None)
+    result = captured_connection(rig)
+    recorded = reconstruct_connection("example.com", 0.0, result.captured)
+    later = rig.client.connect(rig.server, "example.com")  # overwrites slot
+    assert later.ok
+    attacker = NationStateAttacker()
+    attacker.steal_kex_values(ec_keypair=rig.server.kex_cache.current_ec)
+    attacker.steal_steks([generate_stek(rig.client._rng, 0.0)])
+    assert not attacker.decrypt(recorded).success
+
+
+def test_offered_ticket_on_resumed_connection_decrypts():
+    """Resumed connections carry the ticket in the clear ClientHello."""
+    rig = make_rig(ticket_window=3600.0)
+    first = rig.client.connect(rig.server, "example.com")
+    assert first.ok and first.new_ticket is not None
+    rig.clock.advance(10)
+    resumed = rig.client.connect(
+        rig.server, "example.com",
+        ticket=first.new_ticket.ticket, saved_session=first.session,
+        capture=True,
+    )
+    assert resumed.resumed
+    rig.client.exchange_data(resumed, b"resumed request")
+    recorded = reconstruct_connection("example.com", 10.0, resumed.captured)
+    assert recorded.offered_ticket  # visible in ClientHello
+    attacker = NationStateAttacker()
+    attacker.steal_steks(rig.stek_store.all_keys)
+    outcome = attacker.decrypt(recorded)
+    assert outcome.success
+    assert any(b"resumed request" in p for p in outcome.plaintexts)

@@ -1,0 +1,116 @@
+"""Heartbleed-style leak vector tests."""
+
+import pytest
+
+from helpers import make_rig
+
+from repro.crypto.rng import DeterministicRandom
+from repro.nationstate.adversary import NationStateAttacker, reconstruct_connection
+from repro.nationstate.leak import (
+    MAX_LEAK_BYTES,
+    VulnerableServer,
+    build_heap_image,
+    harvest_leaks,
+)
+from repro.tls.keyexchange import KexReusePolicy, ReuseMode
+from repro.tls.ticket import open_ticket
+
+
+def leaky_rig(**kwargs):
+    rig = make_rig(**kwargs)
+    vulnerable = VulnerableServer(rig.server, DeterministicRandom(4242))
+    return rig, vulnerable
+
+
+def test_heap_contains_stek_material():
+    rig, _ = leaky_rig()
+    heap = build_heap_image(rig.server, DeterministicRandom(1))
+    stek = rig.stek_store.current
+    assert stek.aes_key in heap
+    assert stek.hmac_key in heap
+
+
+def test_heap_contains_live_sessions_only():
+    rig, _ = leaky_rig(cache_lifetime=300.0)
+    first = rig.client.connect(rig.server, "example.com")
+    assert first.ok
+    heap = build_heap_image(rig.server, DeterministicRandom(2))
+    assert first.session.master_secret in heap
+    rig.clock.advance(301)  # session expires from the cache
+    heap_later = build_heap_image(rig.server, DeterministicRandom(3))
+    assert first.session.master_secret not in heap_later
+
+
+def test_heap_contains_cached_kex_private():
+    rig, _ = leaky_rig(kex_policy=KexReusePolicy(ReuseMode.PROCESS_LIFETIME))
+    result = rig.client.connect(rig.server, "example.com")
+    assert result.ok
+    private = rig.server.kex_cache.current_ec.private
+    heap = build_heap_image(rig.server, DeterministicRandom(4))
+    assert private.to_bytes((private.bit_length() + 7) // 8, "big") in heap
+
+
+def test_leak_is_bounded():
+    _, vulnerable = leaky_rig()
+    assert len(vulnerable.leak(100)) == 100
+    assert len(vulnerable.leak(10 ** 9)) <= MAX_LEAK_BYTES
+    assert vulnerable.leak(0) == b""
+    assert vulnerable.leak(-5) == b""
+
+
+def test_harvest_recovers_stek():
+    rig, vulnerable = leaky_rig()
+    harvest = harvest_leaks(vulnerable, attempts=16)
+    assert not harvest.empty
+    names = {stek.key_name for stek in harvest.steks}
+    assert rig.stek_store.current.key_name in names
+
+
+def test_harvested_stek_opens_real_tickets():
+    """The end-to-end §2.1 story: leak → STEK → ticket decryption."""
+    rig, vulnerable = leaky_rig()
+    result = rig.client.connect(rig.server, "example.com")
+    assert result.ok and result.new_ticket is not None
+    harvest = harvest_leaks(vulnerable, attempts=16)
+    opened = [
+        open_ticket(stek, result.new_ticket.ticket)
+        for stek in harvest.steks
+    ]
+    recovered = [c for c in opened if c is not None]
+    assert recovered
+    assert recovered[0].session.master_secret == result.session.master_secret
+
+
+def test_harvested_secrets_feed_the_attacker():
+    """Leak harvest plugs straight into the retrospective attacker."""
+    rig, vulnerable = leaky_rig()
+    result = rig.client.connect(rig.server, "example.com", capture=True)
+    assert result.ok
+    rig.client.exchange_data(result, b"GET /leaked")
+    recorded = reconstruct_connection("example.com", 0.0, result.captured)
+
+    harvest = harvest_leaks(vulnerable, attempts=16)
+    attacker = NationStateAttacker()
+    attacker.steal_steks(harvest.steks)
+    outcome = attacker.decrypt(recorded)
+    assert outcome.success
+    assert any(b"GET /leaked" in p for p in outcome.plaintexts)
+
+
+def test_small_leaks_need_more_attempts():
+    """Tiny windows rarely capture a whole record in few probes."""
+    rig, vulnerable = leaky_rig()
+    tiny = harvest_leaks(vulnerable, attempts=2, leak_size=16)
+    big = harvest_leaks(VulnerableServer(rig.server, DeterministicRandom(77)),
+                        attempts=16, leak_size=MAX_LEAK_BYTES)
+    assert len(big.steks) >= len(tiny.steks)
+    assert big.steks
+
+
+def test_clean_server_leaks_nothing_resumable():
+    """No tickets, no cache, fresh kex: the heap holds no durable secrets
+    beyond the last handshake's ephemeral value."""
+    rig, vulnerable = leaky_rig(tickets=False, cache_lifetime=None)
+    harvest = harvest_leaks(vulnerable, attempts=8)
+    assert not harvest.steks
+    assert not harvest.master_secrets

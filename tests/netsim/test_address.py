@@ -1,0 +1,90 @@
+"""IPv4 address and CIDR tests."""
+
+import pytest
+
+from repro.netsim.address import AddressAllocator, CIDRBlock, IPv4Address
+
+
+def test_parse_and_str():
+    address = IPv4Address.parse("192.168.1.42")
+    assert str(address) == "192.168.1.42"
+    assert address.value == (192 << 24) | (168 << 16) | (1 << 8) | 42
+
+
+@pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", ""])
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        IPv4Address.parse(bad)
+
+
+def test_address_range_check():
+    with pytest.raises(ValueError):
+        IPv4Address(-1)
+    with pytest.raises(ValueError):
+        IPv4Address(1 << 32)
+    IPv4Address(0)
+    IPv4Address((1 << 32) - 1)
+
+
+def test_ordering():
+    assert IPv4Address.parse("1.0.0.1") < IPv4Address.parse("1.0.0.2")
+
+
+def test_slash24():
+    address = IPv4Address.parse("10.1.2.200")
+    block = address.slash24()
+    assert str(block) == "10.1.2.0/24"
+    assert block.contains(address)
+    assert not block.contains(IPv4Address.parse("10.1.3.1"))
+
+
+def test_cidr_parse_and_contains():
+    block = CIDRBlock.parse("172.16.0.0/12")
+    assert block.contains(IPv4Address.parse("172.20.5.5"))
+    assert not block.contains(IPv4Address.parse("172.32.0.0"))
+    assert block.size == 1 << 20
+
+
+def test_cidr_rejects_host_bits():
+    with pytest.raises(ValueError):
+        CIDRBlock.parse("10.0.0.1/24")
+
+
+def test_cidr_rejects_bad_prefix():
+    with pytest.raises(ValueError):
+        CIDRBlock(0, 33)
+
+
+def test_cidr_zero_prefix_contains_everything():
+    block = CIDRBlock(0, 0)
+    assert block.contains(IPv4Address.parse("255.255.255.255"))
+
+
+def test_cidr_address_offset():
+    block = CIDRBlock.parse("10.0.0.0/24")
+    assert str(block.address(5)) == "10.0.0.5"
+    with pytest.raises(ValueError):
+        block.address(256)
+
+
+def test_allocator_sequential_and_skips_boundaries():
+    allocator = AddressAllocator(CIDRBlock.parse("10.0.0.0/24"))
+    first = allocator.allocate()
+    assert str(first) == "10.0.0.1"  # .0 skipped
+    allocated = [allocator.allocate() for _ in range(250)]
+    assert all(a.value & 0xFF not in (0, 255) for a in allocated)
+
+
+def test_allocator_exhaustion():
+    allocator = AddressAllocator(CIDRBlock.parse("10.0.0.0/30"))
+    allocator.allocate()
+    allocator.allocate()
+    allocator.allocate()
+    with pytest.raises(RuntimeError):
+        allocator.allocate()
+
+
+def test_allocator_unique():
+    allocator = AddressAllocator(CIDRBlock.parse("10.0.0.0/23"))
+    seen = {allocator.allocate().value for _ in range(400)}
+    assert len(seen) == 400

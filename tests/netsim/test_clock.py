@@ -1,0 +1,65 @@
+"""Simulated clock tests."""
+
+import pytest
+
+from repro.netsim.clock import DAY, HOUR, MINUTE, SimClock, format_duration
+
+
+def test_advance():
+    clock = SimClock()
+    assert clock.now() == 0.0
+    clock.advance(10.5)
+    assert clock.now() == 10.5
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1)
+
+
+def test_advance_to():
+    clock = SimClock(100.0)
+    clock.advance_to(150.0)
+    assert clock.now() == 150.0
+    with pytest.raises(ValueError):
+        clock.advance_to(149.0)
+
+
+def test_advance_to_same_time_ok():
+    clock = SimClock(5.0)
+    clock.advance_to(5.0)
+    assert clock.now() == 5.0
+
+
+def test_day_index():
+    clock = SimClock()
+    assert clock.day_index == 0
+    clock.advance(DAY - 1)
+    assert clock.day_index == 0
+    clock.advance(1)
+    assert clock.day_index == 1
+    clock.advance(9 * DAY)
+    assert clock.day_index == 10
+
+
+def test_day_index_relative_to_start():
+    clock = SimClock(start=5 * DAY)
+    assert clock.day_index == 0
+    clock.advance(DAY)
+    assert clock.day_index == 1
+
+
+def test_elapsed():
+    clock = SimClock(start=100.0)
+    clock.advance(50.0)
+    assert clock.elapsed == 50.0
+
+
+def test_format_duration():
+    assert format_duration(30) == "30 s"
+    assert format_duration(5 * MINUTE) == "5 min"
+    assert format_duration(2 * HOUR) == "2 h"
+    assert format_duration(18 * HOUR) == "18 h"
+    assert format_duration(1.5 * HOUR) == "1.5 h"
+    assert format_duration(63 * DAY) == "63 d"
+    assert format_duration(1.5 * DAY) == "1.5 d"

@@ -1,0 +1,78 @@
+"""DNS zone tests."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.netsim.address import IPv4Address
+from repro.netsim.dns import DNSZone, NXDomainError
+
+A1 = IPv4Address.parse("10.0.0.1")
+A2 = IPv4Address.parse("10.0.0.2")
+
+
+def test_a_record_resolution():
+    zone = DNSZone()
+    zone.add_a("example.com", A1)
+    assert zone.resolve_all("example.com") == [A1]
+
+
+def test_nxdomain():
+    zone = DNSZone()
+    with pytest.raises(NXDomainError):
+        zone.resolve_all("missing.example")
+
+
+def test_case_insensitive_names():
+    zone = DNSZone()
+    zone.add_a("Example.COM", A1)
+    assert zone.resolve_all("example.com") == [A1]
+    assert zone.has("EXAMPLE.com")
+
+
+def test_round_robin_choice_covers_all_records():
+    zone = DNSZone()
+    zone.add_a("multi.example", A1)
+    zone.add_a("multi.example", A2)
+    rng = DeterministicRandom(4)
+    seen = {zone.resolve("multi.example", rng).value for _ in range(50)}
+    assert seen == {A1.value, A2.value}
+
+
+def test_mx_records():
+    zone = DNSZone()
+    zone.add_mx("corp.example", "aspmx.l.google-sim.example")
+    zone.add_mx("corp.example", "backup.mail.example")
+    assert zone.mx("corp.example") == [
+        "aspmx.l.google-sim.example",
+        "backup.mail.example",
+    ]
+
+
+def test_mx_empty_for_unknown_or_a_only():
+    zone = DNSZone()
+    zone.add_a("web.example", A1)
+    assert zone.mx("web.example") == []
+    assert zone.mx("missing.example") == []
+
+
+def test_mx_only_name_has_no_a():
+    zone = DNSZone()
+    zone.add_mx("mailonly.example", "mx.example")
+    with pytest.raises(NXDomainError):
+        zone.resolve_all("mailonly.example")
+
+
+def test_query_counter():
+    zone = DNSZone()
+    zone.add_a("x.example", A1)
+    zone.resolve_all("x.example")
+    zone.mx("x.example")
+    assert zone.queries == 2
+
+
+def test_names_and_len():
+    zone = DNSZone()
+    zone.add_a("b.example", A1)
+    zone.add_a("a.example", A2)
+    assert zone.names() == ["a.example", "b.example"]
+    assert len(zone) == 2

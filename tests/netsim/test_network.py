@@ -1,0 +1,103 @@
+"""Network fabric tests (routing, failures, load balancing)."""
+
+import pytest
+
+from helpers import make_rig
+
+from repro.crypto.rng import DeterministicRandom
+from repro.netsim.address import IPv4Address
+from repro.netsim.network import ConnectTimeout, Endpoint, Network
+
+IP = IPv4Address.parse("10.0.0.1")
+OTHER = IPv4Address.parse("10.0.0.2")
+
+
+def make_network(failure_rate=0.0, seed=1):
+    return Network(DeterministicRandom(seed), failure_rate=failure_rate)
+
+
+def server():
+    return make_rig().server
+
+
+def test_register_and_connect():
+    network = make_network()
+    backend = server()
+    network.register(Endpoint(ip=IP, backends=[backend]))
+    assert network.connect(IP) is backend
+    assert network.attempts == 1
+    assert network.failures == 0
+
+
+def test_connect_unroutable():
+    network = make_network()
+    with pytest.raises(ConnectTimeout):
+        network.connect(OTHER)
+    assert network.failures == 1
+
+
+def test_duplicate_endpoint_rejected():
+    network = make_network()
+    network.register(Endpoint(ip=IP, backends=[server()]))
+    with pytest.raises(ValueError):
+        network.register(Endpoint(ip=IP, backends=[server()]))
+
+
+def test_distinct_ports_coexist():
+    network = make_network()
+    a, b = server(), server()
+    network.register(Endpoint(ip=IP, port=443, backends=[a]))
+    network.register(Endpoint(ip=IP, port=8443, backends=[b]))
+    assert network.connect(IP, 443) is a
+    assert network.connect(IP, 8443) is b
+
+
+def test_dead_endpoint_times_out():
+    network = make_network()
+    network.register(Endpoint(ip=IP, backends=[]))
+    with pytest.raises(ConnectTimeout):
+        network.connect(IP)
+
+
+def test_failure_injection_rate():
+    network = make_network(failure_rate=0.3, seed=5)
+    network.register(Endpoint(ip=IP, backends=[server()]))
+    failures = 0
+    for _ in range(500):
+        try:
+            network.connect(IP)
+        except ConnectTimeout:
+            failures += 1
+    assert 90 < failures < 220  # ~150 expected
+
+
+def test_failure_rate_validation():
+    with pytest.raises(ValueError):
+        make_network(failure_rate=1.0)
+    with pytest.raises(ValueError):
+        make_network(failure_rate=-0.1)
+
+
+def test_affinity_endpoint_always_first_backend():
+    network = make_network()
+    a, b = server(), server()
+    network.register(Endpoint(ip=IP, backends=[a, b], affinity=True))
+    assert all(network.connect(IP) is a for _ in range(20))
+
+
+def test_no_affinity_sprays_backends():
+    network = make_network(seed=9)
+    a, b = server(), server()
+    network.register(Endpoint(ip=IP, backends=[a, b], affinity=False))
+    picked = {id(network.connect(IP)) for _ in range(40)}
+    assert picked == {id(a), id(b)}
+
+
+def test_endpoint_lookup():
+    network = make_network()
+    endpoint = Endpoint(ip=IP, backends=[server()])
+    network.register(endpoint)
+    assert network.endpoint_at(IP) is endpoint
+    assert network.endpoint_at(OTHER) is None
+    assert len(network) == 1
+    assert network.endpoints() == [endpoint]

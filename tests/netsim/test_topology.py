@@ -1,0 +1,67 @@
+"""AS registry tests."""
+
+import pytest
+
+from repro.netsim.address import IPv4Address
+from repro.netsim.topology import ASRegistry
+
+
+def test_register_and_lookup():
+    registry = ASRegistry()
+    registry.register(13335, "CloudFlare", ["104.16.0.0/14"])
+    found = registry.lookup(IPv4Address.parse("104.17.1.1"))
+    assert found is not None and found.asn == 13335
+
+
+def test_lookup_outside_any_as():
+    registry = ASRegistry()
+    registry.register(1, "A", ["10.0.0.0/16"])
+    assert registry.lookup(IPv4Address.parse("192.168.0.1")) is None
+
+
+def test_longest_prefix_wins():
+    registry = ASRegistry()
+    registry.register(1, "Big", ["10.0.0.0/8"])
+    registry.register(2, "Small", ["10.5.0.0/16"])
+    assert registry.lookup(IPv4Address.parse("10.5.1.1")).asn == 2
+    assert registry.lookup(IPv4Address.parse("10.6.1.1")).asn == 1
+
+
+def test_duplicate_asn_rejected():
+    registry = ASRegistry()
+    registry.register(1, "A", ["10.0.0.0/16"])
+    with pytest.raises(ValueError):
+        registry.register(1, "B", ["10.1.0.0/16"])
+
+
+def test_allocation_within_as():
+    registry = ASRegistry()
+    autonomous_system = registry.register(5, "Host", ["10.9.0.0/24"])
+    address = autonomous_system.allocate_address()
+    assert autonomous_system.contains(address)
+    assert registry.lookup(address).asn == 5
+
+
+def test_allocation_spills_to_second_block():
+    registry = ASRegistry()
+    autonomous_system = registry.register(6, "Host", ["10.9.0.0/30", "10.10.0.0/24"])
+    for _ in range(10):
+        address = autonomous_system.allocate_address()
+        assert autonomous_system.contains(address)
+
+
+def test_allocation_exhaustion():
+    registry = ASRegistry()
+    autonomous_system = registry.register(7, "Tiny", ["10.0.0.0/31"])
+    autonomous_system.allocate_address()
+    with pytest.raises(RuntimeError):
+        autonomous_system.allocate_address()
+        autonomous_system.allocate_address()
+
+
+def test_all_systems_sorted():
+    registry = ASRegistry()
+    registry.register(9, "Nine", ["10.0.0.0/24"])
+    registry.register(3, "Three", ["10.1.0.0/24"])
+    assert [a.asn for a in registry.all_systems()] == [3, 9]
+    assert len(registry) == 2

@@ -1,0 +1,85 @@
+"""Scan record schema and JSONL serialization tests."""
+
+from repro.scanner.records import (
+    CrossDomainEdge,
+    ResumptionProbeResult,
+    ScanObservation,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+def test_observation_json_roundtrip():
+    observation = ScanObservation(
+        domain="example.com",
+        day=5,
+        timestamp=12345.0,
+        rank=42,
+        ip="10.0.0.1",
+        success=True,
+        cipher="TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+        kex_kind="ecdhe",
+        forward_secret=True,
+        cert_trusted=True,
+        session_id_set=True,
+        ticket_issued=True,
+        ticket_hint=300,
+        ticket_format="rfc5077",
+        stek_id="ab" * 16,
+        kex_public="04" + "00" * 32,
+    )
+    assert ScanObservation.from_json(observation.to_json()) == observation
+
+
+def test_failed_observation_roundtrip():
+    observation = ScanObservation(
+        domain="down.example", day=0, timestamp=1.0, error="connect: timeout"
+    )
+    parsed = ScanObservation.from_json(observation.to_json())
+    assert not parsed.success
+    assert parsed.error == "connect: timeout"
+    assert parsed.stek_id is None
+
+
+def test_probe_result_roundtrip():
+    probe = ResumptionProbeResult(
+        domain="example.com",
+        rank=9,
+        mechanism="ticket",
+        handshake_ok=True,
+        issued=True,
+        resumed_at_1s=True,
+        max_success_delay=3600.0,
+        ticket_hint=7200,
+        attempts=13,
+    )
+    assert ResumptionProbeResult.from_json(probe.to_json()) == probe
+
+
+def test_edge_roundtrip():
+    edge = CrossDomainEdge(origin="a.com", acceptor="b.com", via_same_ip=True)
+    assert CrossDomainEdge.from_json(edge.to_json()) == edge
+
+
+def test_jsonl_file_roundtrip(tmp_path):
+    path = tmp_path / "scan.jsonl"
+    records = [
+        ScanObservation(domain=f"d{i}.example", day=i, timestamp=float(i))
+        for i in range(25)
+    ]
+    count = write_jsonl(path, records)
+    assert count == 25
+    loaded = list(read_jsonl(path, ScanObservation))
+    assert loaded == records
+
+
+def test_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "scan.jsonl"
+    record = ScanObservation(domain="x.example", day=0, timestamp=0.0)
+    path.write_text(record.to_json() + "\n\n\n" + record.to_json() + "\n")
+    assert len(list(read_jsonl(path, ScanObservation))) == 2
+
+
+def test_json_is_one_line():
+    record = ScanObservation(domain="x.example", day=0, timestamp=0.0)
+    assert "\n" not in record.to_json()

@@ -1,0 +1,141 @@
+"""24-hour resumption-probe tests against ground truth."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.netsim.clock import HOUR, MINUTE
+from repro.scanner import ProbeConfig, ZGrabber, resumption_probe
+
+
+@pytest.fixture()
+def ecosystem(small_ecosystem_factory):
+    return small_ecosystem_factory(population=380, seed=33, failure_rate=0.0)
+
+
+@pytest.fixture()
+def grabber(ecosystem):
+    return ZGrabber(ecosystem, DeterministicRandom(808))
+
+
+def pick(ecosystem, predicate, count=1):
+    picked = [
+        (d.rank, d.name)
+        for d in ecosystem.active_domains(0)
+        if predicate(d.behavior) and d.https
+    ]
+    assert len(picked) >= count
+    return picked[:count]
+
+
+def test_session_probe_matches_cache_lifetime(ecosystem, grabber):
+    targets = pick(
+        ecosystem,
+        lambda b: b.trusted_cert and b.session_cache_lifetime == 5 * MINUTE,
+        count=3,
+    )
+    results = resumption_probe(grabber, targets, ProbeConfig(mechanism="session_id"))
+    for result in results:
+        assert result.handshake_ok and result.issued
+        assert result.resumed_at_1s
+        # Honored for ~5 min: last success at the 1 s attempt or the
+        # 5-minute attempt, never at 10+ minutes.
+        assert result.max_success_delay is not None
+        assert result.max_success_delay < 9 * MINUTE
+
+
+def test_session_probe_long_cache(ecosystem, grabber):
+    targets = pick(
+        ecosystem,
+        lambda b: b.trusted_cert and (b.session_cache_lifetime or 0) >= 10 * HOUR,
+        count=1,
+    )
+    results = resumption_probe(grabber, targets, ProbeConfig(mechanism="session_id"))
+    assert results[0].max_success_delay is not None
+    assert results[0].max_success_delay >= 9 * HOUR
+
+
+def test_session_probe_nginx_style_never_resumes(ecosystem, grabber):
+    targets = pick(
+        ecosystem,
+        lambda b: b.trusted_cert and b.issue_session_ids
+        and b.session_cache_lifetime is None,
+        count=2,
+    )
+    results = resumption_probe(grabber, targets, ProbeConfig(mechanism="session_id"))
+    for result in results:
+        assert result.issued               # ID was set...
+        assert not result.resumed_at_1s    # ...but never honored
+        assert result.max_success_delay is None
+
+
+def test_ticket_probe_matches_window(ecosystem, grabber):
+    targets = pick(
+        ecosystem,
+        lambda b: b.trusted_cert and b.tickets and b.ticket_window_seconds == 5 * MINUTE
+        and b.stek_rotation_seconds and b.stek_rotation_seconds > HOUR,
+        count=3,
+    )
+    results = resumption_probe(grabber, targets, ProbeConfig(mechanism="ticket"))
+    for result in results:
+        assert result.issued
+        assert result.resumed_at_1s
+        assert result.max_success_delay < 9 * MINUTE
+
+
+def test_ticket_probe_records_hint(ecosystem, grabber):
+    targets = pick(
+        ecosystem,
+        lambda b: b.trusted_cert and b.tickets and b.ticket_hint_seconds > 0,
+        count=2,
+    )
+    results = resumption_probe(grabber, targets, ProbeConfig(mechanism="ticket"))
+    for result in results:
+        assert result.ticket_hint is not None and result.ticket_hint > 0
+
+
+def test_ticket_probe_no_ticket_domain(ecosystem, grabber):
+    targets = pick(
+        ecosystem, lambda b: b.trusted_cert and not b.tickets, count=2
+    )
+    results = resumption_probe(grabber, targets, ProbeConfig(mechanism="ticket"))
+    for result in results:
+        assert result.handshake_ok
+        assert not result.issued
+        assert result.attempts == 0
+
+
+def test_probe_dark_domain(ecosystem, grabber):
+    dark = [(d.rank, d.name) for d in ecosystem.active_domains(0) if not d.https][:2]
+    results = resumption_probe(grabber, dark, ProbeConfig(mechanism="session_id"))
+    for result in results:
+        assert not result.handshake_ok
+
+
+def test_probe_ceiling_flag(ecosystem, grabber):
+    """Domains honoring past 24 h are right-censored, like the paper."""
+    targets = pick(
+        ecosystem,
+        lambda b: b.trusted_cert and (b.session_cache_lifetime or 0) > 26 * HOUR,
+        count=1,
+    )
+    config = ProbeConfig(mechanism="session_id", max_duration_seconds=2 * HOUR,
+                         interval_seconds=30 * MINUTE)
+    results = resumption_probe(grabber, targets, config)
+    assert results[0].hit_probe_ceiling
+
+
+def test_probe_mechanism_validation(grabber):
+    with pytest.raises(ValueError):
+        resumption_probe(grabber, [], ProbeConfig(mechanism="bogus"))
+
+
+def test_probe_runs_interleaved_on_one_timeline(ecosystem, grabber):
+    """Probing N domains costs one probe window, not N windows."""
+    targets = pick(
+        ecosystem, lambda b: b.trusted_cert and b.resumes_session_ids, count=5
+    )
+    start = ecosystem.clock.now()
+    config = ProbeConfig(mechanism="session_id", max_duration_seconds=1 * HOUR)
+    resumption_probe(grabber, targets, config)
+    elapsed = ecosystem.clock.now() - start
+    assert elapsed < 2 * HOUR

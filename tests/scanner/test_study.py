@@ -1,0 +1,112 @@
+"""Full-study orchestration and dataset persistence tests.
+
+These use the shared session-scoped study dataset to stay fast.
+"""
+
+from repro.scanner import StudyDataset, load_dataset, save_dataset
+
+from conftest import SMALL_DAYS, SMALL_POPULATION
+
+
+def test_daily_sweeps_cover_all_days(small_study):
+    _, dataset = small_study
+    for observations in (dataset.ticket_daily, dataset.dhe_daily, dataset.ecdhe_daily):
+        assert {o.day for o in observations} == set(range(SMALL_DAYS))
+
+
+def test_daily_sweep_sizes(small_study):
+    _, dataset = small_study
+    per_day = len(dataset.ticket_daily) / SMALL_DAYS
+    # Population minus blacklist, plus/minus churn.
+    assert SMALL_POPULATION * 0.95 < per_day <= SMALL_POPULATION
+
+
+def test_blacklisted_domains_never_scanned(small_study):
+    ecosystem, dataset = small_study
+    scanned = {o.domain for o in dataset.ticket_daily}
+    assert ecosystem.blacklist
+    assert not (scanned & ecosystem.blacklist)
+
+
+def test_support_scans_ran(small_study):
+    _, dataset = small_study
+    assert dataset.ticket_support and dataset.dhe_support and dataset.ecdhe_support
+    assert dataset.ticket_30min and dataset.dhe_30min and dataset.ecdhe_30min
+    assert dataset.list_sizes["ticket"][0] >= dataset.list_sizes["ticket"][1]
+
+
+def test_support_scan_ten_connections(small_study):
+    _, dataset = small_study
+    per_domain = {}
+    for o in dataset.ticket_support:
+        per_domain[o.domain] = per_domain.get(o.domain, 0) + 1
+    assert max(per_domain.values()) == 10
+    assert min(per_domain.values()) == 10
+
+
+def test_probes_ran(small_study):
+    _, dataset = small_study
+    assert dataset.session_probes and dataset.ticket_probes
+    assert any(p.resumed_at_1s for p in dataset.session_probes)
+    assert any(p.resumed_at_1s for p in dataset.ticket_probes)
+
+
+def test_crossdomain_ran(small_study):
+    _, dataset = small_study
+    assert dataset.crossdomain_targets
+    assert dataset.cache_edges  # providers guarantee shared caches
+
+
+def test_always_present_subset_of_day0(small_study):
+    _, dataset = small_study
+    day0 = {name for _, name in dataset.day0_list}
+    assert set(dataset.always_present) <= day0
+    assert len(dataset.always_present) < len(day0)  # churn happened
+
+
+def test_as_knowledge_collected(small_study):
+    _, dataset = small_study
+    assert dataset.domain_asn
+    assert dataset.as_names
+    assert all(asn in dataset.as_names for asn in set(dataset.domain_asn.values()))
+
+
+def test_ranks_recorded(small_study):
+    _, dataset = small_study
+    assert dataset.ranks
+    scanned = {o.domain for o in dataset.ticket_daily if o.success}
+    assert scanned <= set(dataset.ranks)
+
+
+def test_success_rate_reasonable(small_study):
+    _, dataset = small_study
+    ok = sum(1 for o in dataset.ticket_daily if o.success)
+    rate = ok / len(dataset.ticket_daily)
+    # Small populations are provider-heavy (all HTTPS), so the rate
+    # lands well above the independent-domain 70% HTTPS share.
+    assert 0.55 < rate < 0.97
+
+
+def test_dataset_roundtrip_via_jsonl(small_study, tmp_path):
+    _, dataset = small_study
+    directory = tmp_path / "dataset"
+    save_dataset(dataset, str(directory))
+    loaded = load_dataset(str(directory))
+    assert loaded.days == dataset.days
+    assert loaded.always_present == dataset.always_present
+    assert loaded.ranks == dataset.ranks
+    assert loaded.ticket_daily == dataset.ticket_daily
+    assert loaded.dhe_support == dataset.dhe_support
+    assert loaded.session_probes == dataset.session_probes
+    assert loaded.cache_edges == dataset.cache_edges
+    assert loaded.as_names == dataset.as_names
+    assert loaded.list_sizes == dataset.list_sizes
+
+
+def test_empty_dataset_roundtrip(tmp_path):
+    dataset = StudyDataset(days=0)
+    directory = tmp_path / "empty"
+    save_dataset(dataset, str(directory))
+    loaded = load_dataset(str(directory))
+    assert loaded.days == 0
+    assert loaded.ticket_daily == []

@@ -1,0 +1,69 @@
+"""CLI tests: each subcommand end to end on tiny inputs."""
+
+import pytest
+
+from repro.cli import main
+
+ECO_ARGS = ["--population", "420", "--seed", "3"]
+
+
+def test_scan_known_domain(capsys):
+    assert main(["scan", "yahoo.com"] + ECO_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "success:         True" in out
+    assert "STEK id:" in out
+    assert "forward secret:  True" in out
+
+
+def test_scan_unknown_domain(capsys):
+    assert main(["scan", "no-such-host.invalid"] + ECO_ARGS) == 1
+    out = capsys.readouterr().out
+    assert "nxdomain" in out
+
+
+@pytest.fixture(scope="module")
+def study_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-study")
+    code = main([
+        "study", "--days", "6", "--out", str(directory),
+        "--population", "420", "--seed", "3",
+    ])
+    assert code == 0
+    return directory
+
+
+def test_study_writes_dataset(study_dir, capsys):
+    assert (study_dir / "meta.json").exists()
+    assert (study_dir / "ticket_daily.jsonl").exists()
+
+
+def test_report_renders_tables(study_dir, capsys):
+    assert main(["report", str(study_dir), "--min-days", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "prolonged STEK reuse" in out
+    assert "Largest STEK service groups" in out
+    assert "cloudflare" in out
+    assert "yahoo.com" in out
+
+
+def test_audit_renders_windows(study_dir, capsys):
+    assert main(["audit", str(study_dir), "--worst", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "window > 24 hours" in out
+    assert "rotate STEKs daily" in out
+    assert "mechanism" in out
+
+
+def test_target_analysis(capsys):
+    code = main(["target", "google.com", "--horizon-hours", "36",
+                 "--population", "420", "--seed", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Nation-state target analysis: google.com" in out
+    assert "retrospectively decrypted" in out
+
+
+def test_missing_subcommand_errors():
+    with pytest.raises(SystemExit):
+        main([])

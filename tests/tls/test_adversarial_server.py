@@ -1,0 +1,175 @@
+"""Client robustness against misbehaving servers.
+
+A scanner survives on the open Internet only if its TLS client treats
+every malformed, malicious, or protocol-violating server flight as a
+recorded failure rather than a crash.  These tests wrap a well-behaved
+server and corrupt specific parts of its flights.
+"""
+
+import pytest
+
+from helpers import make_rig
+
+from repro.crypto.prf import verify_data
+from repro.crypto.mac import sha256
+from repro.tls.constants import ContentType, ProtocolVersion
+from repro.tls.messages import (
+    Finished,
+    ServerHello,
+    parse_handshake,
+    serialize_handshake,
+)
+from repro.tls.record import handshake_record, parse_records, serialize_records
+
+
+class TamperingServer:
+    """Delegates to a real server, mutating its first flight."""
+
+    def __init__(self, inner, mutate):
+        self._inner = inner
+        self._mutate = mutate
+
+    def accept(self, client_hello_bytes):
+        flight, conn = self._inner.accept(client_hello_bytes)
+        return self._mutate(flight), conn
+
+    def finish_full(self, conn, client_flight):
+        return self._inner.finish_full(conn, client_flight)
+
+    def finish_abbreviated(self, conn, client_finished_bytes):
+        return self._inner.finish_abbreviated(conn, client_finished_bytes)
+
+    def handle_application_record(self, conn, record_bytes):
+        return self._inner.handle_application_record(conn, record_bytes)
+
+
+def connect_via(mutate, **rig_kwargs):
+    rig = make_rig(**rig_kwargs)
+    server = TamperingServer(rig.server, mutate)
+    return rig, rig.client.connect(server, "example.com")
+
+
+def test_truncated_flight_fails_cleanly():
+    rig, result = connect_via(lambda flight: flight[: len(flight) // 2])
+    assert not result.ok
+    assert result.error
+
+
+def test_garbage_flight_fails_cleanly():
+    rig, result = connect_via(lambda flight: b"\x16\x03\x03\x00\x02ok")
+    assert not result.ok
+
+
+def test_empty_flight_fails_cleanly():
+    rig, result = connect_via(lambda flight: b"")
+    assert not result.ok
+
+
+def test_flipped_signature_bit_rejected():
+    """Corrupting the ServerKeyExchange signature must fail the
+    handshake (MITM-injected parameters)."""
+
+    def mutate(flight):
+        # The signature is near the end of the SKE message; flip a byte
+        # two-thirds of the way through the flight.
+        data = bytearray(flight)
+        data[2 * len(data) // 3] ^= 0x01
+        return bytes(data)
+
+    rig, result = connect_via(mutate)
+    assert not result.ok
+
+
+def test_unsolicited_resumption_rejected():
+    """A server 'resuming' a session the client never offered must be
+    refused — the client has no keys for it."""
+
+    def mutate(flight):
+        records = parse_records(flight)
+        payload = records[0].payload
+        hello, _ = parse_handshake(payload)
+        fake_finished = Finished(verify_data=bytes(12))
+        forged = serialize_handshake(hello) + serialize_handshake(fake_finished)
+        return serialize_records([handshake_record(forged)])
+
+    rig, result = connect_via(mutate)
+    assert not result.ok
+    assert "resumed a session we did not offer" in result.error
+
+
+def test_forged_server_finished_rejected_on_resumption():
+    """On a real resumption offer, a wrong server Finished must fail:
+    the server hasn't proven it knows the master secret."""
+    rig = make_rig(cache_lifetime=300.0)
+    first = rig.client.connect(rig.server, "example.com", offer_tickets=False)
+    assert first.ok
+
+    def mutate(flight):
+        records = parse_records(flight)
+        payload = records[0].payload
+        messages = []
+        while payload:
+            message, payload = parse_handshake(payload)
+            messages.append(message)
+        assert isinstance(messages[-1], Finished)
+        messages[-1] = Finished(verify_data=b"\x00" * 12)
+        forged = b"".join(serialize_handshake(m) for m in messages)
+        return serialize_records([handshake_record(forged)])
+
+    server = TamperingServer(rig.server, mutate)
+    result = rig.client.connect(
+        server, "example.com",
+        session_id=first.session_id, saved_session=first.session,
+        offer_tickets=False,
+    )
+    assert not result.ok
+    assert "Finished verification failed" in result.error
+
+
+def test_wrong_certificate_handshake_completes_but_flagged():
+    """A server presenting someone else's certificate can't be stopped
+    from completing a handshake, but trust validation must flag it."""
+    rig = make_rig(hostname="other.net")
+    result = rig.client.connect(rig.server, "example.com")
+    assert result.ok
+    assert not result.certificate_trusted
+
+
+def test_alert_style_record_fails_cleanly():
+    def mutate(flight):
+        from repro.tls.record import TLSRecord
+
+        alert = TLSRecord(ContentType.ALERT, ProtocolVersion.TLS12, b"\x02\x28")
+        return alert.serialize()
+
+    rig, result = connect_via(mutate)
+    assert not result.ok
+
+
+def test_server_cannot_downgrade_to_unoffered_suite():
+    """A server selecting a cipher the client never offered is caught
+    (our model: the client checks its offer list)."""
+    from repro.tls.ciphers import DHE_ONLY_OFFER, TLS_RSA_WITH_AES_128_CBC_SHA
+
+    def mutate(flight):
+        records = parse_records(flight)
+        payload = records[0].payload
+        hello, rest = parse_handshake(payload)
+        assert isinstance(hello, ServerHello)
+        downgraded = ServerHello(
+            version=hello.version,
+            random=hello.random,
+            session_id=hello.session_id,
+            cipher_suite=TLS_RSA_WITH_AES_128_CBC_SHA,
+            extensions=hello.extensions,
+        )
+        return serialize_records([
+            handshake_record(serialize_handshake(downgraded) + rest)
+        ])
+
+    rig = make_rig()
+    server = TamperingServer(rig.server, mutate)
+    result = rig.client.connect(server, "example.com", offer=DHE_ONLY_OFFER)
+    # The downgraded handshake cannot complete: the server's Finished is
+    # bound to the true transcript, which no longer matches.
+    assert not result.ok

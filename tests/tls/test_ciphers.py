@@ -1,0 +1,83 @@
+"""Cipher-suite registry and negotiation tests."""
+
+from repro.tls.ciphers import (
+    ALL_SUITES,
+    DHE_ONLY_OFFER,
+    DHE_SUITES,
+    ECDHE_FIRST_OFFER,
+    ECDHE_SUITES,
+    MODERN_BROWSER_OFFER,
+    RSA_SUITES,
+    SUITES_BY_CODE,
+    SUITES_BY_NAME,
+    TLS_DHE_RSA_WITH_AES_128_CBC_SHA,
+    TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+    TLS_RSA_WITH_AES_128_CBC_SHA,
+    select_suite,
+)
+from repro.tls.constants import KeyExchangeKind
+
+
+def test_iana_codepoints():
+    assert TLS_RSA_WITH_AES_128_CBC_SHA.code == 0x002F
+    assert TLS_DHE_RSA_WITH_AES_128_CBC_SHA.code == 0x0033
+    assert TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256.code == 0xC02F
+
+
+def test_registries_consistent():
+    for suite in ALL_SUITES:
+        assert SUITES_BY_CODE[suite.code] is suite
+        assert SUITES_BY_NAME[suite.name] is suite
+
+
+def test_forward_secrecy_flag():
+    assert not TLS_RSA_WITH_AES_128_CBC_SHA.forward_secret
+    assert TLS_DHE_RSA_WITH_AES_128_CBC_SHA.forward_secret
+    assert TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256.forward_secret
+
+
+def test_family_partitions():
+    assert set(ALL_SUITES) == set(RSA_SUITES) | set(DHE_SUITES) | set(ECDHE_SUITES)
+    assert all(s.kex == KeyExchangeKind.RSA for s in RSA_SUITES)
+    assert all(s.kex == KeyExchangeKind.DHE for s in DHE_SUITES)
+    assert all(s.kex == KeyExchangeKind.ECDHE for s in ECDHE_SUITES)
+
+
+def test_modern_offer_prefers_ecdhe():
+    assert MODERN_BROWSER_OFFER[0].kex == KeyExchangeKind.ECDHE
+    # RSA suites come last.
+    kinds = [s.kex for s in MODERN_BROWSER_OFFER]
+    assert kinds.index(KeyExchangeKind.RSA) > kinds.index(KeyExchangeKind.DHE)
+
+
+def test_dhe_only_offer_is_pure():
+    assert all(s.kex == KeyExchangeKind.DHE for s in DHE_ONLY_OFFER)
+
+
+def test_ecdhe_first_offer_has_rsa_fallback():
+    assert ECDHE_FIRST_OFFER[0].kex == KeyExchangeKind.ECDHE
+    assert any(s.kex == KeyExchangeKind.RSA for s in ECDHE_FIRST_OFFER)
+    assert not any(s.kex == KeyExchangeKind.DHE for s in ECDHE_FIRST_OFFER)
+
+
+def test_select_suite_server_preference():
+    client = [TLS_RSA_WITH_AES_128_CBC_SHA, TLS_DHE_RSA_WITH_AES_128_CBC_SHA]
+    server = [TLS_DHE_RSA_WITH_AES_128_CBC_SHA, TLS_RSA_WITH_AES_128_CBC_SHA]
+    assert select_suite(client, server) is TLS_DHE_RSA_WITH_AES_128_CBC_SHA
+
+
+def test_select_suite_client_preference():
+    client = [TLS_RSA_WITH_AES_128_CBC_SHA, TLS_DHE_RSA_WITH_AES_128_CBC_SHA]
+    server = [TLS_DHE_RSA_WITH_AES_128_CBC_SHA, TLS_RSA_WITH_AES_128_CBC_SHA]
+    chosen = select_suite(client, server, server_preference=False)
+    assert chosen is TLS_RSA_WITH_AES_128_CBC_SHA
+
+
+def test_select_suite_no_overlap():
+    assert select_suite(list(DHE_SUITES), list(RSA_SUITES)) is None
+    assert select_suite([], list(ALL_SUITES)) is None
+    assert select_suite(list(ALL_SUITES), []) is None
+
+
+def test_str_is_name():
+    assert str(TLS_RSA_WITH_AES_128_CBC_SHA) == "TLS_RSA_WITH_AES_128_CBC_SHA"

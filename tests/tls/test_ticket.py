@@ -1,0 +1,197 @@
+"""RFC 5077 ticket and STEK tests."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.tls.ciphers import TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA
+from repro.tls.constants import ProtocolVersion
+from repro.tls.session import SessionState
+from repro.tls.ticket import (
+    STEK,
+    STEKStore,
+    TicketFormat,
+    extract_key_name,
+    generate_stek,
+    open_ticket,
+    seal_ticket,
+    sniff_ticket_format,
+)
+from repro.tls.wire import DecodeError
+
+RNG = DeterministicRandom(88)
+
+
+def make_session(domain="example.com"):
+    return SessionState(
+        master_secret=RNG.random_bytes(48),
+        cipher_suite=TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA,
+        version=ProtocolVersion.TLS12,
+        created_at=1234.0,
+        domain=domain,
+    )
+
+
+def test_stek_validation():
+    with pytest.raises(ValueError):
+        STEK(key_name=bytes(16), aes_key=bytes(8), hmac_key=bytes(32), created_at=0)
+    with pytest.raises(ValueError):
+        STEK(key_name=bytes(16), aes_key=bytes(16), hmac_key=bytes(16), created_at=0)
+
+
+def test_generate_stek_fields():
+    stek = generate_stek(RNG, now=9.0)
+    assert len(stek.key_name) == 16
+    assert len(stek.aes_key) == 16
+    assert len(stek.hmac_key) == 32
+    assert stek.created_at == 9.0
+    short = generate_stek(RNG, now=9.0, key_name_length=4)
+    assert len(short.key_name) == 4
+
+
+def test_seal_open_roundtrip():
+    stek = generate_stek(RNG, 0.0)
+    session = make_session()
+    ticket = seal_ticket(stek, session, RNG, issued_at=55.0)
+    contents = open_ticket(stek, ticket)
+    assert contents is not None
+    assert contents.session == session
+    assert contents.issued_at == 55.0
+
+
+def test_issued_at_defaults_to_session_creation():
+    stek = generate_stek(RNG, 0.0)
+    session = make_session()
+    ticket = seal_ticket(stek, session, RNG)
+    assert open_ticket(stek, ticket).issued_at == session.created_at
+
+
+def test_ticket_is_opaque():
+    stek = generate_stek(RNG, 0.0)
+    session = make_session()
+    ticket = seal_ticket(stek, session, RNG)
+    assert session.master_secret not in ticket
+
+
+def test_wrong_stek_cannot_open():
+    stek = generate_stek(RNG, 0.0)
+    other = generate_stek(RNG, 0.0)
+    ticket = seal_ticket(stek, make_session(), RNG)
+    assert open_ticket(other, ticket) is None
+
+
+def test_same_key_material_different_name_fails():
+    stek = generate_stek(RNG, 0.0)
+    renamed = STEK(
+        key_name=RNG.random_bytes(16),
+        aes_key=stek.aes_key,
+        hmac_key=stek.hmac_key,
+        created_at=0.0,
+    )
+    ticket = seal_ticket(stek, make_session(), RNG)
+    assert open_ticket(renamed, ticket) is None
+
+
+def test_tampered_ticket_rejected():
+    stek = generate_stek(RNG, 0.0)
+    ticket = bytearray(seal_ticket(stek, make_session(), RNG))
+    ticket[20] ^= 0x01  # flip a bit in the IV
+    assert open_ticket(stek, bytes(ticket)) is None
+    ticket2 = bytearray(seal_ticket(stek, make_session(), RNG))
+    ticket2[-1] ^= 0x01  # flip a MAC bit
+    assert open_ticket(stek, bytes(ticket2)) is None
+
+
+def test_truncated_ticket_rejected():
+    stek = generate_stek(RNG, 0.0)
+    ticket = seal_ticket(stek, make_session(), RNG)
+    assert open_ticket(stek, ticket[:20]) is None
+    assert open_ticket(stek, b"") is None
+
+
+def test_key_name_visible_in_clear():
+    stek = generate_stek(RNG, 0.0)
+    ticket = seal_ticket(stek, make_session(), RNG)
+    assert extract_key_name(ticket, TicketFormat.RFC5077) == stek.key_name
+
+
+@pytest.mark.parametrize("fmt,name_len", [
+    (TicketFormat.RFC5077, 16),
+    (TicketFormat.MBEDTLS, 4),
+    (TicketFormat.SCHANNEL, 16),
+])
+def test_all_formats_roundtrip(fmt, name_len):
+    stek = generate_stek(RNG, 0.0, key_name_length=name_len)
+    session = make_session()
+    ticket = seal_ticket(stek, session, RNG, ticket_format=fmt)
+    assert sniff_ticket_format(ticket) is fmt
+    assert extract_key_name(ticket, fmt) == stek.key_name
+    assert open_ticket(stek, ticket, fmt).session == session
+
+
+def test_format_name_length_mismatch_rejected():
+    stek = generate_stek(RNG, 0.0, key_name_length=16)
+    with pytest.raises(ValueError):
+        seal_ticket(stek, make_session(), RNG, ticket_format=TicketFormat.MBEDTLS)
+
+
+def test_sniff_rejects_garbage():
+    with pytest.raises(DecodeError):
+        sniff_ticket_format(b"not-a-ticket")
+
+
+def test_store_issue_and_open():
+    store = STEKStore(generate_stek(RNG, 0.0))
+    session = make_session()
+    ticket = store.issue(session, RNG, now=10.0)
+    contents = store.open(ticket)
+    assert contents.session == session
+    assert contents.issued_at == 10.0
+    assert store.issued_count == 1
+    assert store.opened_count == 1
+
+
+def test_store_rotation_retains_previous():
+    store = STEKStore(generate_stek(RNG, 0.0), retain=1)
+    old_ticket = store.issue(make_session(), RNG, now=0.0)
+    store.rotate(generate_stek(RNG, 100.0))
+    assert store.open(old_ticket) is not None  # previous key retained
+    store.rotate(generate_stek(RNG, 200.0))
+    assert store.open(old_ticket) is None      # now beyond retention
+
+
+def test_store_retain_zero_drops_immediately():
+    store = STEKStore(generate_stek(RNG, 0.0), retain=0)
+    old_ticket = store.issue(make_session(), RNG, now=0.0)
+    store.rotate(generate_stek(RNG, 1.0))
+    assert store.open(old_ticket) is None
+
+
+def test_store_all_keys_order():
+    first = generate_stek(RNG, 0.0)
+    second = generate_stek(RNG, 1.0)
+    store = STEKStore(first, retain=2)
+    store.rotate(second)
+    assert store.all_keys[0] is second
+    assert store.all_keys[1] is first
+
+
+def test_store_new_tickets_use_current_key():
+    store = STEKStore(generate_stek(RNG, 0.0))
+    store.rotate(generate_stek(RNG, 10.0))
+    ticket = store.issue(make_session(), RNG, now=11.0)
+    assert extract_key_name(ticket, TicketFormat.RFC5077) == store.current.key_name
+
+
+def test_store_invalid_retain():
+    with pytest.raises(ValueError):
+        STEKStore(generate_stek(RNG, 0.0), retain=-1)
+
+
+def test_stolen_stek_decrypts_old_tickets():
+    """The core §6.1 harm: anyone with the STEK recovers master secrets."""
+    store = STEKStore(generate_stek(RNG, 0.0))
+    session = make_session()
+    ticket = store.issue(session, RNG, now=0.0)
+    stolen = store.current  # exfiltrated key material
+    contents = open_ticket(stolen, ticket)
+    assert contents.session.master_secret == session.master_secret

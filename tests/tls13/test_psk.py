@@ -1,0 +1,206 @@
+"""TLS 1.3 PSK model tests (§2.4 / §8.1)."""
+
+import pytest
+
+from repro.crypto import ec
+from repro.crypto.rng import DeterministicRandom
+from repro.netsim.clock import DAY
+from repro.tls13 import (
+    DRAFT15_MAX_PSK_LIFETIME,
+    Psk,
+    PskIssuer,
+    PskMode,
+    attacker_recover_keys,
+    derive_resumption_secret,
+    resume,
+)
+
+RNG = DeterministicRandom(13)
+
+
+def make_psk(issued_at=0.0, max_age=DRAFT15_MAX_PSK_LIFETIME):
+    return Psk(
+        identity=RNG.random_bytes(16),
+        secret=RNG.random_bytes(32),
+        issued_at=issued_at,
+        max_age_seconds=max_age,
+        origin_domain="example.com",
+    )
+
+
+def randoms():
+    return RNG.random_bytes(32), RNG.random_bytes(32)
+
+
+def test_resumption_secret_differs_from_master():
+    master = RNG.random_bytes(48)
+    resumption = derive_resumption_secret(master, b"nonce")
+    assert resumption != master
+    assert derive_resumption_secret(master, b"other") != resumption
+
+
+def test_psk_expiry():
+    psk = make_psk(issued_at=0.0)
+    assert not psk.expired(7 * DAY)
+    assert psk.expired(7 * DAY + 1)
+
+
+def test_psk_ke_resumption_derives_keys():
+    psk = make_psk()
+    cr, sr = randoms()
+    keys, server_kp, client_pub = resume(psk, cr, sr, PskMode.PSK_KE, RNG)
+    assert keys.traffic_secret and keys.early_data_secret
+    assert keys.new_resumption_secret != psk.secret
+    assert server_kp is None and client_pub is None
+
+
+def test_psk_dhe_ke_resumption_includes_dh():
+    psk = make_psk()
+    cr, sr = randoms()
+    keys, server_kp, client_pub = resume(psk, cr, sr, PskMode.PSK_DHE_KE, RNG)
+    assert server_kp is not None and client_pub is not None
+    assert ec.is_on_curve(ec.SECP128R1, client_pub)
+
+
+def test_modes_produce_different_traffic_keys():
+    psk = make_psk()
+    cr, sr = randoms()
+    ke_keys, _, _ = resume(psk, cr, sr, PskMode.PSK_KE, RNG)
+    dhe_keys, _, _ = resume(psk, cr, sr, PskMode.PSK_DHE_KE, RNG)
+    assert ke_keys.traffic_secret != dhe_keys.traffic_secret
+    # 0-RTT is PSK-only in both modes: identical early secrets.
+    assert ke_keys.early_data_secret == dhe_keys.early_data_secret
+
+
+def test_psk_ke_fully_decryptable_by_psk_thief():
+    """The 1.2 ticket story, reborn: PSK theft = full decryption."""
+    psk = make_psk()
+    cr, sr = randoms()
+    keys, _, _ = resume(psk, cr, sr, PskMode.PSK_KE, RNG)
+    recovered = attacker_recover_keys(psk.secret, cr, sr, PskMode.PSK_KE)
+    assert recovered.traffic_secret == keys.traffic_secret
+    assert recovered.early_data_secret == keys.early_data_secret
+
+
+def test_psk_dhe_ke_resists_psk_theft():
+    """With a fresh DHE share, PSK theft yields only the 0-RTT secret."""
+    psk = make_psk()
+    cr, sr = randoms()
+    keys, _, _ = resume(psk, cr, sr, PskMode.PSK_DHE_KE, RNG)
+    recovered = attacker_recover_keys(psk.secret, cr, sr, PskMode.PSK_DHE_KE)
+    assert recovered.traffic_secret == b""         # safe
+    assert recovered.early_data_secret == keys.early_data_secret  # 0-RTT falls
+
+
+def test_psk_dhe_ke_falls_to_reused_dh_value():
+    """PSK theft + a reused server DHE value = full decryption again."""
+    psk = make_psk()
+    cr, sr = randoms()
+    reused = ec.generate_keypair(ec.SECP128R1, RNG)
+    keys, server_kp, client_pub = resume(
+        psk, cr, sr, PskMode.PSK_DHE_KE, RNG, server_keypair=reused
+    )
+    assert server_kp is reused
+    recovered = attacker_recover_keys(
+        psk.secret, cr, sr, PskMode.PSK_DHE_KE,
+        observed_client_public=client_pub,
+        stolen_server_keypair=reused,
+    )
+    assert recovered.traffic_secret == keys.traffic_secret
+
+
+def test_zero_rtt_always_falls_to_psk_theft():
+    psk = make_psk()
+    cr, sr = randoms()
+    for mode in PskMode:
+        keys, _, _ = resume(psk, cr, sr, mode, RNG)
+        recovered = attacker_recover_keys(psk.secret, cr, sr, mode)
+        assert recovered.early_data_secret == keys.early_data_secret, mode
+
+
+def test_wrong_psk_recovers_nothing_useful():
+    psk = make_psk()
+    cr, sr = randoms()
+    keys, _, _ = resume(psk, cr, sr, PskMode.PSK_KE, RNG)
+    recovered = attacker_recover_keys(RNG.random_bytes(32), cr, sr, PskMode.PSK_KE)
+    assert recovered.traffic_secret != keys.traffic_secret
+    assert recovered.early_data_secret != keys.early_data_secret
+
+
+# --- PskIssuer --------------------------------------------------------------
+
+def test_self_encrypted_issue_accept_roundtrip():
+    issuer = PskIssuer(DeterministicRandom(1), database_mode=False)
+    secret = RNG.random_bytes(32)
+    psk = issuer.issue(secret, now=100.0, domain="a.com")
+    accepted = issuer.accept(psk.identity, now=200.0)
+    assert accepted is not None
+    assert accepted.secret == secret
+
+
+def test_self_encrypted_expiry_enforced():
+    issuer = PskIssuer(DeterministicRandom(2), database_mode=False,
+                       max_age_seconds=1000.0)
+    psk = issuer.issue(RNG.random_bytes(32), now=0.0)
+    assert issuer.accept(psk.identity, now=999.0) is not None
+    assert issuer.accept(psk.identity, now=1001.0) is None
+
+
+def test_self_encrypted_tamper_rejected():
+    issuer = PskIssuer(DeterministicRandom(3))
+    psk = issuer.issue(RNG.random_bytes(32), now=0.0)
+    mutated = bytes([psk.identity[0] ^ 1]) + psk.identity[1:]
+    assert issuer.accept(mutated, now=1.0) is None
+    assert issuer.accept(b"short", now=1.0) is None
+
+
+def test_attacker_opens_identity_with_stolen_key():
+    """The 1.3 STEK: one key opens every identity it sealed — expired
+    or not (policy expiry does not protect recorded traffic)."""
+    issuer = PskIssuer(DeterministicRandom(4), max_age_seconds=100.0)
+    secret = RNG.random_bytes(32)
+    psk = issuer.issue(secret, now=0.0)
+    assert issuer.attacker_open_identity(psk.identity) == secret
+    # Even long after expiry:
+    assert issuer.accept(psk.identity, now=10_000.0) is None
+    assert issuer.attacker_open_identity(psk.identity) == secret
+
+
+def test_attacker_cannot_open_without_key():
+    a = PskIssuer(DeterministicRandom(5))
+    b = PskIssuer(DeterministicRandom(6))
+    psk = a.issue(RNG.random_bytes(32), now=0.0)
+    assert b.attacker_open_identity(psk.identity) is None
+
+
+def test_database_mode_roundtrip_and_dump():
+    issuer = PskIssuer(DeterministicRandom(7), database_mode=True)
+    secrets = [RNG.random_bytes(32) for _ in range(3)]
+    psks = [issuer.issue(s, now=0.0, domain=f"d{i}.com") for i, s in enumerate(secrets)]
+    for psk, secret in zip(psks, secrets):
+        assert issuer.accept(psk.identity, now=1.0).secret == secret
+    # Database compromise yields every stored secret (session-cache-like).
+    dumped = {p.secret for p in issuer.attacker_dump_database()}
+    assert dumped == set(secrets)
+
+
+def test_database_mode_expire_sweep_limits_exposure():
+    issuer = PskIssuer(DeterministicRandom(8), database_mode=True,
+                       max_age_seconds=100.0)
+    issuer.issue(RNG.random_bytes(32), now=0.0)
+    issuer.issue(RNG.random_bytes(32), now=90.0)
+    removed = issuer.expire(now=150.0)
+    assert removed == 1
+    assert len(issuer.attacker_dump_database()) == 1
+
+
+def test_database_mode_identity_opaque_to_key_thief():
+    issuer = PskIssuer(DeterministicRandom(9), database_mode=True)
+    psk = issuer.issue(RNG.random_bytes(32), now=0.0)
+    assert issuer.attacker_open_identity(psk.identity) is None
+
+
+def test_draft15_seven_day_ceiling_is_default():
+    issuer = PskIssuer(DeterministicRandom(10))
+    psk = issuer.issue(RNG.random_bytes(32), now=0.0)
+    assert psk.max_age_seconds == 7 * DAY
