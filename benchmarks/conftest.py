@@ -10,6 +10,10 @@ Configuration (environment variables):
 * ``REPRO_BENCH_POPULATION`` — ranked-list size (default 900)
 * ``REPRO_BENCH_DAYS``       — study length in days (default 63)
 * ``REPRO_BENCH_SEED``       — ecosystem seed (default 2016)
+* ``REPRO_BENCH_SHARDS``     — population shards (default 1; shard
+  count changes the corpus bytes, so it is part of the cache key)
+* ``REPRO_BENCH_WORKERS``    — worker processes building the corpus
+  (default 1; never changes the corpus, so not in the cache key)
 
 The default 900-domain/63-day corpus takes a few minutes to build the
 first time; later runs load it from disk in seconds.
@@ -33,6 +37,8 @@ from repro.scanner import StudyConfig, load_dataset, run_study, save_dataset
 BENCH_POPULATION = int(os.environ.get("REPRO_BENCH_POPULATION", "900"))
 BENCH_DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "63"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
+BENCH_SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "1"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 _CACHE_ROOT = Path(__file__).parent.parent / ".bench_cache"
 _OUTPUT_DIR = Path(__file__).parent / "output"
@@ -59,6 +65,8 @@ def bench_study_config() -> StudyConfig:
         crossdomain_day=_scaled_day(50, taken),
         session_probe_day=_scaled_day(56, taken),
         ticket_probe_day=_scaled_day(58, taken),
+        shards=BENCH_SHARDS,
+        workers=BENCH_WORKERS,
     )
 
 
@@ -90,6 +98,8 @@ def _ground_truth(ecosystem) -> dict:
 def bench_data():
     """(dataset, ground_truth) for the configured benchmark corpus."""
     key = f"p{BENCH_POPULATION}_d{BENCH_DAYS}_s{BENCH_SEED}"
+    if BENCH_SHARDS != 1:
+        key += f"_sh{BENCH_SHARDS}"
     cache_dir = _CACHE_ROOT / key
     truth_path = cache_dir / "ground_truth.json"
     if truth_path.exists():

@@ -17,14 +17,23 @@ Quick start::
     from repro import core
 
     eco = build_ecosystem(EcosystemConfig(population=600, seed=1))
-    data = run_study(eco, StudyConfig(days=14))
+    config = StudyConfig(
+        days=14,
+        dhe_support_day=9, ecdhe_support_day=9, ticket_support_day=10,
+        crossdomain_day=11, session_probe_day=12, ticket_probe_day=12,
+        shards=4, workers=4,      # sharded scan; output depends on shards only
+    )
+    data = run_study(eco, config)
     spans = core.stek_spans(data.ticket_daily, set(data.always_present))
     print(core.span_fractions(spans))
+
+(Experiment days must fall inside ``range(days)`` — ``StudyConfig``
+validates the schedule instead of silently skipping experiments.)
 """
 
 from . import core, crypto, figures, hosting, nationstate, netsim, scanner, tls, tls13, x509
 from .hosting import EcosystemConfig, build_ecosystem
-from .scanner import StudyConfig, run_study
+from .scanner import StudyConfig, StudyStats, run_study, run_study_with_stats
 
 __version__ = "1.0.0"
 
@@ -42,6 +51,8 @@ __all__ = [
     "EcosystemConfig",
     "build_ecosystem",
     "StudyConfig",
+    "StudyStats",
     "run_study",
+    "run_study_with_stats",
     "__version__",
 ]

@@ -5,7 +5,10 @@ Subcommands mirror the library's workflow:
 * ``scan DOMAIN``   — one zgrab-style connection against a synthetic
   ecosystem, printing the crypto-shortcut signals.
 * ``study``         — run the longitudinal study and save the dataset
-  (JSONL) to a directory.
+  (JSONL) to a directory; ``--shards``/``--workers`` shard the
+  population across processes (output depends only on ``--shards``)
+  and ``--stream-dir`` spills observations to disk as they are
+  produced.
 * ``report DIR``    — regenerate the paper's tables from a saved
   dataset.
 * ``audit DIR``     — vulnerability windows + §8.2 mitigation
@@ -33,7 +36,13 @@ from . import core
 from .crypto.rng import DeterministicRandom
 from .hosting import EcosystemConfig, build_ecosystem
 from .netsim.clock import HOUR
-from .scanner import StudyConfig, ZGrabber, load_dataset, run_study, save_dataset
+from .scanner import (
+    StudyConfig,
+    ZGrabber,
+    load_dataset,
+    run_study_with_stats,
+    save_dataset,
+)
 
 
 def _add_ecosystem_arguments(parser: argparse.ArgumentParser) -> None:
@@ -73,26 +82,46 @@ def cmd_scan(args) -> int:
     return 0
 
 
+def _scaled_day(paper_day: int, days: int) -> int:
+    """Scale a paper-schedule day into a shorter study, staying in range."""
+    return min(days - 1, max(1, int(paper_day * days / 63)))
+
+
 def cmd_study(args) -> int:
     ecosystem = _build(args)
-    scale = args.days / 63
     config = StudyConfig(
         days=args.days,
         probe_domain_count=args.population,
-        dhe_support_day=max(1, int(43 * scale)),
-        ecdhe_support_day=max(2, int(44 * scale)),
-        ticket_support_day=max(3, int(46 * scale)),
-        crossdomain_day=max(4, int(50 * scale)),
-        session_probe_day=max(5, int(56 * scale)),
-        ticket_probe_day=max(6, int(58 * scale)),
+        dhe_support_day=_scaled_day(43, args.days),
+        ecdhe_support_day=_scaled_day(44, args.days),
+        ticket_support_day=_scaled_day(46, args.days),
+        crossdomain_day=_scaled_day(50, args.days),
+        session_probe_day=_scaled_day(56, args.days),
+        ticket_probe_day=_scaled_day(58, args.days),
+        shards=args.shards,
+        workers=args.workers,
+        stream_dir=args.stream_dir,
     )
+
     def progress(day: int, days: int) -> None:
         print(f"\rscanning day {day + 1}/{days}", end="", flush=True, file=sys.stderr)
-    dataset = run_study(ecosystem, config, progress=progress)
+
+    def shard_progress(shard_id: int, shards: int, day: int, days: int) -> None:
+        if day >= days:
+            print(f"\rshard {shard_id + 1}/{shards} done        ",
+                  end="", flush=True, file=sys.stderr)
+        else:
+            print(f"\rshard {shard_id + 1}/{shards}: day {day + 1}/{days}",
+                  end="", flush=True, file=sys.stderr)
+
+    dataset, stats = run_study_with_stats(
+        ecosystem, config, progress=progress, shard_progress=shard_progress,
+    )
     print(file=sys.stderr)
     save_dataset(dataset, args.out)
     print(f"dataset saved to {args.out} "
           f"({len(dataset.ticket_daily):,} daily ticket observations)")
+    print(stats.render())
     return 0
 
 
@@ -211,6 +240,16 @@ def build_parser() -> argparse.ArgumentParser:
     study = sub.add_parser("study", help="run the longitudinal study")
     study.add_argument("--days", type=int, default=14)
     study.add_argument("--out", required=True, help="dataset output directory")
+    study.add_argument("--shards", type=int, default=1,
+                       help="deterministic population shards; the only "
+                            "parallelism knob that affects output (default 1)")
+    study.add_argument("--workers", type=int, default=1,
+                       help="worker processes executing shards; never "
+                            "affects output (default 1)")
+    study.add_argument("--stream-dir", default=None,
+                       help="stream observations to JSONL in this directory "
+                            "as they are produced instead of holding them "
+                            "in memory (may equal --out)")
     _add_ecosystem_arguments(study)
     study.set_defaults(func=cmd_study)
 

@@ -128,9 +128,13 @@ def kex_spans(
     domains: Optional[set[str]] = None,
     kind: Optional[str] = None,
 ) -> dict[str, DomainSpans]:
-    """(EC)DHE-value spans from the daily key-exchange scans (Fig. 5)."""
+    """(EC)DHE-value spans from the daily key-exchange scans (Fig. 5).
+
+    Accepts any iterable (including a streamed dataset view) and never
+    materializes it: the ``kind`` filter is applied lazily.
+    """
     if kind is not None:
-        observations = [o for o in observations if o.kex_kind == kind]
+        observations = (o for o in observations if o.kex_kind == kind)
     return collect_spans(observations, _extract_kex, domains)
 
 

@@ -1,9 +1,35 @@
-"""The ZMap/zgrab-style measurement toolchain."""
+"""The ZMap/zgrab-style measurement toolchain.
+
+Layered as: grabs (:mod:`grab`) → scan patterns (:mod:`schedule`,
+:mod:`resumption`, :mod:`crossdomain`) → pluggable experiments
+(:mod:`experiments`) → sharded streaming engine (:mod:`engine`) →
+study configuration/persistence (:mod:`study`) → storage & query
+(:mod:`records`, :mod:`datastore`).
+"""
 
 from .crossdomain import CrossDomainConfig, ProbeTarget, cross_domain_cache_probe
-from .datastore import IndexStats, ScanIndex
+from .datastore import (
+    IndexStats,
+    JsonlWriter,
+    LazyRecordView,
+    ScanIndex,
+)
+from .engine import ShardResult, StudyEngine, StudyStats, run_shard
+from .experiments import (
+    EVERY_DAY,
+    CrossDomainExperiment,
+    DailySweepExperiment,
+    Experiment,
+    ExperimentRegistry,
+    ResumptionProbeExperiment,
+    StudyContext,
+    SupportScanExperiment,
+    default_registry,
+    shard_of,
+)
 from .grab import ZGrabber
 from .records import (
+    CHANNELS,
     CrossDomainEdge,
     ResumptionProbeResult,
     ScanObservation,
@@ -12,15 +38,25 @@ from .records import (
 )
 from .resumption import ProbeConfig, resumption_probe
 from .schedule import DailyScanCampaign, SweepConfig, sweep, thirty_minute_scan
-from .study import StudyConfig, StudyDataset, load_dataset, run_study, save_dataset
+from .study import (
+    StudyConfig,
+    StudyDataset,
+    load_dataset,
+    run_study,
+    run_study_with_stats,
+    save_dataset,
+)
 
 __all__ = [
     "ZGrabber",
     "ScanIndex",
     "IndexStats",
+    "JsonlWriter",
+    "LazyRecordView",
     "ScanObservation",
     "ResumptionProbeResult",
     "CrossDomainEdge",
+    "CHANNELS",
     "read_jsonl",
     "write_jsonl",
     "ProbeConfig",
@@ -32,9 +68,24 @@ __all__ = [
     "CrossDomainConfig",
     "ProbeTarget",
     "cross_domain_cache_probe",
+    "Experiment",
+    "ExperimentRegistry",
+    "StudyContext",
+    "DailySweepExperiment",
+    "SupportScanExperiment",
+    "CrossDomainExperiment",
+    "ResumptionProbeExperiment",
+    "default_registry",
+    "shard_of",
+    "EVERY_DAY",
+    "StudyEngine",
+    "StudyStats",
+    "ShardResult",
+    "run_shard",
     "StudyConfig",
     "StudyDataset",
     "run_study",
+    "run_study_with_stats",
     "save_dataset",
     "load_dataset",
 ]

@@ -48,9 +48,19 @@ def cross_domain_cache_probe(
     targets: list[ProbeTarget],
     rng: DeterministicRandom,
     config: Optional[CrossDomainConfig] = None,
+    origins: Optional[list[ProbeTarget]] = None,
 ) -> list[CrossDomainEdge]:
-    """Find session-cache sharing edges among ``targets``."""
+    """Find session-cache sharing edges among ``targets``.
+
+    ``origins`` restricts which targets *initiate* probes while peers
+    are still drawn from all of ``targets`` — the sharded scan engine
+    passes each shard's owned domains here, so every (origin, peer)
+    pair is probed by exactly one shard and the edge lists concatenate
+    without duplicates.
+    """
     config = config or CrossDomainConfig()
+    if origins is None:
+        origins = targets
     by_ip: dict[str, list[ProbeTarget]] = {}
     by_as: dict[int, list[ProbeTarget]] = {}
     for target in targets:
@@ -60,8 +70,8 @@ def cross_domain_cache_probe(
 
     edges: list[CrossDomainEdge] = []
     ecosystem = grabber.ecosystem
-    step = config.window_seconds / max(len(targets), 1)
-    for origin in targets:
+    step = config.window_seconds / max(len(origins), 1)
+    for origin in origins:
         if step:
             ecosystem.advance_to(ecosystem.clock.now() + step)
         result, _, _ = grabber.connect(

@@ -1,0 +1,449 @@
+"""The sharded, streaming scan engine.
+
+:class:`StudyEngine` drives an :class:`ExperimentRegistry` over the
+simulated study timeline.  The population is partitioned into
+``shards`` deterministic shards (stable domain-name hash, see
+:func:`repro.scanner.experiments.shard_of`); each shard runs the full
+timeline against its *own* ecosystem view with its own
+:class:`DeterministicRandom` fork keyed by ``(seed, shard_id)``, scans
+only the domains it owns, and either accumulates records in memory or
+streams them straight to JSONL (``stream_dir``).
+
+The merge step concatenates per-shard record streams in shard order,
+so the merged output is **bit-for-bit identical** regardless of
+``workers`` — one process running shards serially and a process pool
+running them concurrently produce the same bytes.  ``workers`` is pure
+execution parallelism; ``shards`` is the only knob that affects
+output.  With ``shards=1`` the engine runs the registry against the
+caller's ecosystem on the legacy single-stream path.
+
+Why per-shard ecosystem views reproduce a coherent study: the
+ecosystem's own evolution (list churn, STEK rotation schedules, DNS)
+is driven by its internal seeded RNGs and virtual time, independent of
+scan traffic, so every shard's view agrees on the population and on
+view-independent metadata.  Scan-dependent server state (issued
+tickets, cached sessions) only matters for the domains a shard
+actually scans — and each domain is scanned by exactly one shard on
+every study day.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..crypto.rng import DeterministicRandom
+from ..hosting.ecosystem import Ecosystem
+from ..netsim.clock import DAY
+from .datastore import (
+    concatenate_channels,
+    open_channel_views,
+    open_channel_writers,
+    write_meta,
+)
+from .experiments import ExperimentRegistry, StudyContext, default_registry
+from .grab import ZGrabber
+from .records import CHANNELS
+
+ShardProgress = Callable[[int, int, int, int], None]
+
+
+@dataclass
+class StudyStats:
+    """Observability summary returned alongside a study dataset."""
+
+    days: int
+    shards: int
+    workers: int
+    grabs: int = 0
+    scans_by_experiment: dict[str, int] = field(default_factory=dict)
+    records_by_channel: dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "StudyStats") -> None:
+        self.grabs += other.grabs
+        for name, count in other.scans_by_experiment.items():
+            self.scans_by_experiment[name] = (
+                self.scans_by_experiment.get(name, 0) + count
+            )
+        for name, count in other.records_by_channel.items():
+            self.records_by_channel[name] = (
+                self.records_by_channel.get(name, 0) + count
+            )
+
+    def render(self) -> str:
+        lines = [
+            f"study stats: {self.grabs:,} TLS grabs over {self.days} days "
+            f"({self.shards} shard{'s' if self.shards != 1 else ''}, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''})",
+        ]
+        width = max((len(n) for n in self.scans_by_experiment), default=0)
+        for name, count in self.scans_by_experiment.items():
+            lines.append(f"  {name:<{width}}  {count:>10,} grabs")
+        return "\n".join(lines)
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard's run produced, ready to merge."""
+
+    shard_id: int
+    shard_count: int
+    channels: Optional[dict[str, list]]    # None when streamed to disk
+    stream_subdir: Optional[str]
+    meta: dict
+    stats: StudyStats
+
+
+class _MemorySink:
+    """Accumulates records per channel in plain lists."""
+
+    def __init__(self) -> None:
+        self.channels: dict[str, list] = {name: [] for name in CHANNELS}
+
+    def emit(self, channel: str, records) -> int:
+        bucket = self.channels[channel]
+        before = len(bucket)
+        bucket.extend(records)
+        return len(bucket) - before
+
+    def counts(self) -> dict[str, int]:
+        return {name: len(rows) for name, rows in self.channels.items()}
+
+    def close(self) -> None:
+        pass
+
+
+class _StreamingSink:
+    """Spills records to per-channel JSONL append writers as produced."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.writers = open_channel_writers(directory)
+
+    def emit(self, channel: str, records) -> int:
+        return self.writers[channel].append_many(records)
+
+    def counts(self) -> dict[str, int]:
+        return {name: writer.count for name, writer in self.writers.items()}
+
+    def close(self) -> None:
+        for writer in self.writers.values():
+            writer.close()
+
+
+def run_shard(
+    ecosystem: Ecosystem,
+    config,
+    shard_id: int = 0,
+    shard_count: int = 1,
+    stream_dir: Optional[str] = None,
+    registry: Optional[ExperimentRegistry] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> ShardResult:
+    """Run every registered experiment over one shard's timeline.
+
+    This is the whole study when ``shard_count == 1``.  The caller owns
+    ecosystem/shard pairing: ``ecosystem`` must be a fresh view for
+    this shard (the engine rebuilds views per shard; see
+    :func:`_shard_worker`).
+    """
+    registry = registry if registry is not None else default_registry(config)
+    rng = DeterministicRandom(config.seed)
+    if shard_count > 1:
+        rng = rng.fork(f"shard:{shard_id}/{shard_count}")
+    grabber = ZGrabber(ecosystem, rng.fork("grabber"))
+    sink = _StreamingSink(stream_dir) if stream_dir else _MemorySink()
+    stats = StudyStats(days=config.days, shards=shard_count, workers=1)
+
+    ctx = StudyContext(
+        ecosystem=ecosystem,
+        grabber=grabber,
+        rng=rng,
+        config=config,
+        emit=sink.emit,
+        shard_id=shard_id,
+        shard_count=shard_count,
+    )
+    ctx.meta["day0_list"] = ecosystem.alexa_list(0)
+    ranks = ctx.meta.setdefault("ranks", {})
+
+    schedules = [(experiment, experiment.schedule(config)) for experiment in registry]
+    for day in range(config.days):
+        day_start = day * DAY
+        if ecosystem.clock.now() < day_start:
+            ecosystem.advance_to(day_start)
+        if progress is not None:
+            progress(day, config.days)
+
+        full_list = ecosystem.alexa_list()
+        ctx.full_list_size = len(full_list)
+        ctx.today = [
+            (rank, name) for rank, name in full_list
+            if name not in ecosystem.blacklist
+        ]
+        for rank, name in ctx.today:
+            ranks.setdefault(name, rank)
+        if shard_count > 1:
+            ctx.today_owned = [
+                (rank, name) for rank, name in ctx.today if ctx.owns(name)
+            ]
+        else:
+            ctx.today_owned = ctx.today
+
+        for experiment, scheduled_days in schedules:
+            if day not in scheduled_days:
+                continue
+            grabs_before = grabber.grabs
+            experiment.run_day(ctx, day)
+            stats.scans_by_experiment[experiment.name] = (
+                stats.scans_by_experiment.get(experiment.name, 0)
+                + grabber.grabs - grabs_before
+            )
+
+    for experiment in registry:
+        experiment.finalize(ctx)
+
+    # End-of-study, view-independent metadata (identical in every shard).
+    as_names = {}
+    for autonomous_system in ecosystem.as_registry.all_systems():
+        as_names[autonomous_system.asn] = autonomous_system.name
+    ctx.meta["as_names"] = as_names
+    if not ctx.meta.get("domain_asn"):
+        domain_asn = ctx.meta.setdefault("domain_asn", {})
+        domain_ip = ctx.meta.setdefault("domain_ip", {})
+        for rank, name in ecosystem.alexa_list():
+            try:
+                addresses = ecosystem.dns.resolve_all(name)
+            except KeyError:
+                continue
+            autonomous_system = ecosystem.as_registry.lookup(addresses[0])
+            if autonomous_system is not None:
+                domain_asn[name] = autonomous_system.asn
+            domain_ip[name] = str(addresses[0])
+    # A probe scheduled late in the study may run past the nominal end;
+    # only advance if the clock is still behind it.
+    if ecosystem.clock.now() < config.days * DAY:
+        ecosystem.advance_to(config.days * DAY)
+    ctx.meta["always_present"] = [
+        d.name for d in ecosystem.always_present_domains(config.days - 1)
+    ]
+
+    stats.grabs = grabber.grabs
+    stats.records_by_channel = sink.counts()
+    sink.close()
+    return ShardResult(
+        shard_id=shard_id,
+        shard_count=shard_count,
+        channels=sink.channels if isinstance(sink, _MemorySink) else None,
+        stream_subdir=stream_dir,
+        meta=ctx.meta,
+        stats=stats,
+    )
+
+
+def _shard_worker(args) -> ShardResult:
+    """Process-pool entry point: rebuild the shard's view, run it.
+
+    Rebuilding from ``EcosystemConfig`` (rather than pickling a live
+    ecosystem) keeps the task payload tiny and guarantees every shard's
+    view is the same deterministic function of the seed.
+    """
+    from ..hosting import build_ecosystem
+
+    ecosystem_config, study_config, shard_id, shard_count, stream_dir = args
+    ecosystem = build_ecosystem(ecosystem_config)
+    return run_shard(
+        ecosystem,
+        study_config,
+        shard_id=shard_id,
+        shard_count=shard_count,
+        stream_dir=stream_dir,
+    )
+
+
+class StudyEngine:
+    """Drives a registry of experiments over shards and merges results."""
+
+    def __init__(
+        self,
+        config,
+        registry: Optional[ExperimentRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.registry = registry
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        ecosystem: Ecosystem,
+        progress: Optional[Callable[[int, int], None]] = None,
+        shard_progress: Optional[ShardProgress] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        stream_dir: Optional[str] = None,
+    ):
+        """Run the study; returns ``(StudyDataset, StudyStats)``.
+
+        ``shards`` partitions the population (output-affecting);
+        ``workers`` only parallelizes shard execution.  ``stream_dir``
+        switches the storage layer to streaming JSONL: records spill to
+        disk as produced and the returned dataset holds lazy views.
+        """
+        from .study import StudyDataset  # local import to avoid a cycle
+
+        config = self.config
+        shards = shards if shards is not None else getattr(config, "shards", 1)
+        workers = workers if workers is not None else getattr(config, "workers", 1)
+        stream_dir = stream_dir if stream_dir is not None else getattr(
+            config, "stream_dir", None
+        )
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+
+        if shards == 1:
+            results = [run_shard(
+                ecosystem,
+                config,
+                shard_id=0,
+                shard_count=1,
+                stream_dir=os.path.join(stream_dir, "shards", "00")
+                if stream_dir else None,
+                registry=self.registry,
+                progress=progress,
+            )]
+        else:
+            results = self._run_sharded(
+                ecosystem, shards, workers, stream_dir, shard_progress
+            )
+
+        dataset, stats = self._merge(results, stream_dir, workers)
+        return dataset, stats
+
+    # -- sharded execution -------------------------------------------------
+
+    def _run_sharded(
+        self,
+        ecosystem: Ecosystem,
+        shards: int,
+        workers: int,
+        stream_dir: Optional[str],
+        shard_progress: Optional[ShardProgress],
+    ) -> list[ShardResult]:
+        config = self.config
+
+        def subdir(shard_id: int) -> Optional[str]:
+            if stream_dir is None:
+                return None
+            return os.path.join(stream_dir, "shards", f"{shard_id:02d}")
+
+        if workers == 1:
+            from ..hosting import build_ecosystem
+
+            results = []
+            for shard_id in range(shards):
+                view = build_ecosystem(ecosystem.config)
+
+                def day_progress(day, days, _sid=shard_id):
+                    if shard_progress is not None:
+                        shard_progress(_sid, shards, day, days)
+
+                results.append(run_shard(
+                    view,
+                    config,
+                    shard_id=shard_id,
+                    shard_count=shards,
+                    stream_dir=subdir(shard_id),
+                    registry=self.registry,
+                    progress=day_progress,
+                ))
+            return results
+
+        if self.registry is not None:
+            raise ValueError(
+                "custom experiment registries are not picklable across "
+                "worker processes; run with workers=1 or register via "
+                "default_registry"
+            )
+        tasks = [
+            (ecosystem.config, config, shard_id, shards, subdir(shard_id))
+            for shard_id in range(shards)
+        ]
+        results: list[Optional[ShardResult]] = [None] * shards
+        with ProcessPoolExecutor(max_workers=min(workers, shards)) as pool:
+            for result in pool.map(_shard_worker, tasks):
+                results[result.shard_id] = result
+                if shard_progress is not None:
+                    shard_progress(
+                        result.shard_id, shards, config.days, config.days
+                    )
+        return results  # type: ignore[return-value]
+
+    # -- merge -------------------------------------------------------------
+
+    def _merge(
+        self,
+        results: list[ShardResult],
+        stream_dir: Optional[str],
+        workers: int,
+    ):
+        from .study import StudyDataset
+
+        config = self.config
+        results = sorted(results, key=lambda r: r.shard_id)
+        meta = results[0].meta  # view-independent fields agree across shards
+        merged_meta = {
+            "days": config.days,
+            "day0_list": meta["day0_list"],
+            "always_present": meta["always_present"],
+            "ranks": meta["ranks"],
+            "crossdomain_targets": meta.get("crossdomain_targets", []),
+            "domain_asn": meta.get("domain_asn", {}),
+            "domain_ip": meta.get("domain_ip", {}),
+            "as_names": meta["as_names"],
+            "list_sizes": meta.get("list_sizes", {}),
+        }
+
+        stats = StudyStats(
+            days=config.days, shards=results[0].shard_count, workers=workers
+        )
+        for result in results:
+            stats.merge(result.stats)
+
+        dataset = StudyDataset(days=config.days)
+        dataset.day0_list = merged_meta["day0_list"]
+        dataset.always_present = merged_meta["always_present"]
+        dataset.ranks = merged_meta["ranks"]
+        dataset.crossdomain_targets = merged_meta["crossdomain_targets"]
+        dataset.domain_asn = merged_meta["domain_asn"]
+        dataset.domain_ip = merged_meta["domain_ip"]
+        dataset.as_names = merged_meta["as_names"]
+        dataset.list_sizes = merged_meta["list_sizes"]
+
+        if stream_dir is not None:
+            part_dirs = [r.stream_subdir for r in results]
+            concatenate_channels(part_dirs, stream_dir)
+            shutil.rmtree(os.path.join(stream_dir, "shards"), ignore_errors=True)
+            write_meta(stream_dir, merged_meta)
+            for name, view in open_channel_views(stream_dir).items():
+                setattr(dataset, name, view)
+        else:
+            for name in CHANNELS:
+                merged: list = []
+                for result in results:
+                    merged.extend(result.channels[name])
+                setattr(dataset, name, merged)
+        return dataset, stats
+
+
+__all__ = [
+    "StudyEngine",
+    "StudyStats",
+    "ShardResult",
+    "run_shard",
+]

@@ -43,7 +43,10 @@ class ZGrabber:
             ecosystem.clock.now,
             reuse_client_ephemerals=True,
         )
+        #: Connection attempts (the StudyStats "grabs" counter).
         self.grabs = 0
+        #: Attempts that never reached a completed handshake.
+        self.failures = 0
 
     # -- low-level ---------------------------------------------------------
 
@@ -67,10 +70,12 @@ class ZGrabber:
         try:
             address = ip if ip is not None else self.ecosystem.dns.resolve(domain, self._rng)
         except NXDomainError:
+            self.failures += 1
             return None, "", "nxdomain"
         try:
             server = self.ecosystem.network.connect(address, port)
         except ConnectTimeout as exc:
+            self.failures += 1
             return None, str(address), f"connect: {exc}"
         result = self.client.connect(
             server,
@@ -82,6 +87,8 @@ class ZGrabber:
             offer_tickets=offer_tickets,
             capture=capture,
         )
+        if not result.ok:
+            self.failures += 1
         return result, str(address), result.error
 
     # -- observation construction -------------------------------------------

@@ -94,6 +94,26 @@ class CrossDomainEdge:
         return cls(**json.loads(line))
 
 
+#: Channel name -> record class for every record stream a study produces.
+#: The channel name is also the JSONL basename inside a dataset directory,
+#: so the scanner (streaming writers), the dataset (lazy views), and
+#: persistence (save/load) all agree on one layout.
+CHANNELS: dict[str, type] = {
+    "ticket_daily": ScanObservation,
+    "dhe_daily": ScanObservation,
+    "ecdhe_daily": ScanObservation,
+    "ticket_support": ScanObservation,
+    "dhe_support": ScanObservation,
+    "ecdhe_support": ScanObservation,
+    "ticket_30min": ScanObservation,
+    "dhe_30min": ScanObservation,
+    "ecdhe_30min": ScanObservation,
+    "session_probes": ResumptionProbeResult,
+    "ticket_probes": ResumptionProbeResult,
+    "cache_edges": CrossDomainEdge,
+}
+
+
 def write_jsonl(path, records: Iterable) -> int:
     """Write records (anything with ``.to_json()``) to a JSONL file."""
     count = 0
@@ -118,6 +138,7 @@ __all__ = [
     "ScanObservation",
     "ResumptionProbeResult",
     "CrossDomainEdge",
+    "CHANNELS",
     "write_jsonl",
     "read_jsonl",
 ]

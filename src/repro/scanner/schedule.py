@@ -11,9 +11,8 @@ server-side rotations and cache expiries interleave realistically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
-from ..hosting.ecosystem import Ecosystem
 from ..netsim.clock import HOUR, MINUTE
 from ..tls.ciphers import CipherSuite, MODERN_BROWSER_OFFER
 from .grab import ZGrabber
@@ -33,7 +32,7 @@ class SweepConfig:
 
 def sweep(
     grabber: ZGrabber,
-    domains: list[tuple[int, str]],
+    domains: Sequence[tuple[int, str]],
     config: SweepConfig,
 ) -> list[ScanObservation]:
     """Scan ``domains`` (rank, name) within the configured time window.
@@ -80,9 +79,13 @@ class DailyScanCampaign:
     window_seconds: float = 3 * HOUR
     offer_tickets: bool = True
     label: str = "daily"
+    #: With ``accumulate=False`` the campaign only returns each day's
+    #: observations (streaming callers persist them elsewhere) instead
+    #: of holding the whole study in ``observations``.
+    accumulate: bool = True
     observations: list[ScanObservation] = field(default_factory=list)
 
-    def run_day(self, domains: Optional[list[tuple[int, str]]] = None) -> list[ScanObservation]:
+    def run_day(self, domains: Optional[Sequence[tuple[int, str]]] = None) -> list[ScanObservation]:
         """Scan once for the current day; returns the day's observations."""
         ecosystem = self.grabber.ecosystem
         if domains is None:
@@ -95,13 +98,14 @@ class DailyScanCampaign:
             label=self.label,
         )
         day_observations = sweep(self.grabber, domains, config)
-        self.observations.extend(day_observations)
+        if self.accumulate:
+            self.observations.extend(day_observations)
         return day_observations
 
 
 def thirty_minute_scan(
     grabber: ZGrabber,
-    domains: list[tuple[int, str]],
+    domains: Sequence[tuple[int, str]],
     offer: tuple[CipherSuite, ...] = MODERN_BROWSER_OFFER,
 ) -> list[ScanObservation]:
     """The paper's single-connection scan in a 30-minute window (§5.2)."""

@@ -10,34 +10,42 @@ synthetic ecosystem, on one virtual timeline:
 * 24-hour session-ID and session-ticket resumption probes (§4.1, §4.2);
 * the cross-domain session-cache probe (§5.1).
 
+The experiments themselves live in :mod:`repro.scanner.experiments`
+(a pluggable registry) and the day loop in
+:mod:`repro.scanner.engine` (a sharded, streaming scan engine); this
+module owns the configuration, the dataset container, and persistence.
+
 The result is a :class:`StudyDataset` of pure scan records — the
 analysis layer never sees the simulation's internals.  Datasets
-serialize to a directory of JSONL files so expensive scans can be
-reused across benchmark runs.
+serialize to a directory of JSONL files (one per channel in
+:data:`repro.scanner.records.CHANNELS` plus ``meta.json``) so
+expensive scans can be reused across benchmark runs; with
+``stream_dir`` set, the study *writes* that directory incrementally as
+it scans and the returned dataset holds lazy views instead of lists.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Union
 
-from ..crypto.rng import DeterministicRandom
 from ..hosting.ecosystem import Ecosystem
-from ..netsim.clock import DAY, HOUR
-from ..tls.ciphers import DHE_ONLY_OFFER, ECDHE_FIRST_OFFER, MODERN_BROWSER_OFFER
-from .crossdomain import CrossDomainConfig, ProbeTarget, cross_domain_cache_probe
-from .grab import ZGrabber
-from .records import (
-    CrossDomainEdge,
-    ResumptionProbeResult,
-    ScanObservation,
-    read_jsonl,
-    write_jsonl,
+from ..netsim.clock import HOUR
+from .datastore import (
+    JsonlWriter,
+    LazyRecordView,
+    channel_path,
+    open_channel_views,
+    read_meta,
+    write_meta,
 )
-from .resumption import ProbeConfig, resumption_probe
-from .schedule import DailyScanCampaign, SweepConfig, sweep, thirty_minute_scan
+from .engine import StudyEngine, StudyStats
+from .records import CHANNELS
+
+#: Dataset record fields are plain lists for in-memory studies and
+#: :class:`LazyRecordView` for streamed/loaded ones; both behave alike.
+RecordRows = Union[list, LazyRecordView]
 
 
 @dataclass
@@ -58,6 +66,44 @@ class StudyConfig:
     run_probes: bool = True
     run_crossdomain: bool = True
     run_support_scans: bool = True
+    # Execution knobs (see repro.scanner.engine).  ``shards`` is the
+    # deterministic population partition and affects output byte-for-byte;
+    # ``workers`` only parallelizes shard execution and never does.
+    shards: int = 1
+    workers: int = 1
+    stream_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError(f"days must be positive, got {self.days}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        scheduled: list[tuple[str, int]] = []
+        if self.run_support_scans:
+            scheduled += [
+                ("dhe_support_day", self.dhe_support_day),
+                ("ecdhe_support_day", self.ecdhe_support_day),
+                ("ticket_support_day", self.ticket_support_day),
+            ]
+        if self.run_crossdomain:
+            scheduled.append(("crossdomain_day", self.crossdomain_day))
+        if self.run_probes:
+            scheduled += [
+                ("session_probe_day", self.session_probe_day),
+                ("ticket_probe_day", self.ticket_probe_day),
+            ]
+        out_of_range = [
+            f"{name}={day}" for name, day in scheduled
+            if not 0 <= day < self.days
+        ]
+        if out_of_range:
+            raise ValueError(
+                f"experiment days outside range(days={self.days}): "
+                f"{', '.join(out_of_range)} — the experiment would silently "
+                "never run; adjust the day or disable the experiment"
+            )
 
 
 @dataclass
@@ -69,21 +115,21 @@ class StudyDataset:
     always_present: list[str] = field(default_factory=list)
     ranks: dict[str, int] = field(default_factory=dict)
     # Daily longitudinal sweeps.
-    ticket_daily: list[ScanObservation] = field(default_factory=list)
-    dhe_daily: list[ScanObservation] = field(default_factory=list)
-    ecdhe_daily: list[ScanObservation] = field(default_factory=list)
+    ticket_daily: RecordRows = field(default_factory=list)
+    dhe_daily: RecordRows = field(default_factory=list)
+    ecdhe_daily: RecordRows = field(default_factory=list)
     # 10-connection support scans + 30-minute single scans.
-    ticket_support: list[ScanObservation] = field(default_factory=list)
-    dhe_support: list[ScanObservation] = field(default_factory=list)
-    ecdhe_support: list[ScanObservation] = field(default_factory=list)
-    ticket_30min: list[ScanObservation] = field(default_factory=list)
-    dhe_30min: list[ScanObservation] = field(default_factory=list)
-    ecdhe_30min: list[ScanObservation] = field(default_factory=list)
+    ticket_support: RecordRows = field(default_factory=list)
+    dhe_support: RecordRows = field(default_factory=list)
+    ecdhe_support: RecordRows = field(default_factory=list)
+    ticket_30min: RecordRows = field(default_factory=list)
+    dhe_30min: RecordRows = field(default_factory=list)
+    ecdhe_30min: RecordRows = field(default_factory=list)
     # 24-hour resumption probes.
-    session_probes: list[ResumptionProbeResult] = field(default_factory=list)
-    ticket_probes: list[ResumptionProbeResult] = field(default_factory=list)
+    session_probes: RecordRows = field(default_factory=list)
+    ticket_probes: RecordRows = field(default_factory=list)
     # Cross-domain cache edges.
-    cache_edges: list[CrossDomainEdge] = field(default_factory=list)
+    cache_edges: RecordRows = field(default_factory=list)
     crossdomain_targets: list[str] = field(default_factory=list)
     # Scanner-side AS knowledge (domain -> asn), from "whois" lookups.
     domain_asn: dict[str, int] = field(default_factory=dict)
@@ -93,135 +139,79 @@ class StudyDataset:
     # day each support scan ran, keyed by scan label.
     list_sizes: dict[str, tuple[int, int]] = field(default_factory=dict)
 
+    def meta(self) -> dict:
+        """The JSON-serializable non-record fields (``meta.json``)."""
+        return {
+            "days": self.days,
+            "day0_list": self.day0_list,
+            "always_present": self.always_present,
+            "ranks": self.ranks,
+            "crossdomain_targets": self.crossdomain_targets,
+            "domain_asn": self.domain_asn,
+            "domain_ip": self.domain_ip,
+            "as_names": self.as_names,
+            "list_sizes": self.list_sizes,
+        }
+
+
+# Kept for backwards compatibility with callers that enumerated the
+# scan-observation fields; CHANNELS is the authoritative layout now.
+_OBSERVATION_FIELDS = tuple(
+    name for name, cls in CHANNELS.items()
+    if cls.__name__ == "ScanObservation"
+)
+
 
 def run_study(
     ecosystem: Ecosystem,
     config: Optional[StudyConfig] = None,
     progress=None,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    stream_dir: Optional[str] = None,
+    shard_progress: Optional[Callable[[int, int, int, int], None]] = None,
 ) -> StudyDataset:
-    """Run the full measurement study against ``ecosystem``."""
-    config = config or StudyConfig()
-    rng = DeterministicRandom(config.seed)
-    grabber = ZGrabber(ecosystem, rng.fork("grabber"))
-    dataset = StudyDataset(days=config.days)
-    dataset.day0_list = ecosystem.alexa_list(0)
+    """Run the full measurement study against ``ecosystem``.
 
-    ticket_campaign = DailyScanCampaign(
-        grabber, offer=MODERN_BROWSER_OFFER, window_seconds=2 * HOUR, label="ticket"
+    Keyword overrides take precedence over the matching
+    :class:`StudyConfig` fields.  With ``shards > 1`` the population
+    is partitioned deterministically and the passed ecosystem is used
+    only as the template for per-shard views (it is left untouched);
+    output is byte-identical for any ``workers`` value.
+    """
+    dataset, _ = run_study_with_stats(
+        ecosystem,
+        config,
+        progress,
+        workers=workers,
+        shards=shards,
+        stream_dir=stream_dir,
+        shard_progress=shard_progress,
     )
-    dhe_campaign = DailyScanCampaign(
-        grabber, offer=DHE_ONLY_OFFER, window_seconds=1.5 * HOUR,
-        offer_tickets=False, label="dhe",
-    )
-    ecdhe_campaign = DailyScanCampaign(
-        grabber, offer=ECDHE_FIRST_OFFER, window_seconds=1.5 * HOUR,
-        offer_tickets=False, label="ecdhe",
-    )
-
-    for day in range(config.days):
-        day_start = day * DAY
-        if ecosystem.clock.now() < day_start:
-            ecosystem.advance_to(day_start)
-        if progress is not None:
-            progress(day, config.days)
-
-        full_list = ecosystem.alexa_list()
-        today = [(r, n) for r, n in full_list if n not in ecosystem.blacklist]
-        for rank, name in today:
-            dataset.ranks.setdefault(name, rank)
-        ticket_campaign.run_day(today)
-        dhe_campaign.run_day(today)
-        ecdhe_campaign.run_day(today)
-
-        if config.run_support_scans and day == config.dhe_support_day:
-            dataset.list_sizes["dhe"] = (len(full_list), len(today))
-            dataset.dhe_support = sweep(grabber, today, SweepConfig(
-                offer=DHE_ONLY_OFFER, offer_tickets=False,
-                connections_per_domain=config.support_scan_connections,
-                window_seconds=5 * HOUR, label="dhe-support",
-            ))
-            dataset.dhe_30min = thirty_minute_scan(grabber, today, DHE_ONLY_OFFER)
-        if config.run_support_scans and day == config.ecdhe_support_day:
-            dataset.list_sizes["ecdhe"] = (len(full_list), len(today))
-            dataset.ecdhe_support = sweep(grabber, today, SweepConfig(
-                offer=ECDHE_FIRST_OFFER, offer_tickets=False,
-                connections_per_domain=config.support_scan_connections,
-                window_seconds=5 * HOUR, label="ecdhe-support",
-            ))
-            dataset.ecdhe_30min = thirty_minute_scan(grabber, today, ECDHE_FIRST_OFFER)
-        if config.run_support_scans and day == config.ticket_support_day:
-            dataset.list_sizes["ticket"] = (len(full_list), len(today))
-            dataset.ticket_support = sweep(grabber, today, SweepConfig(
-                offer=MODERN_BROWSER_OFFER,
-                connections_per_domain=config.support_scan_connections,
-                window_seconds=config.support_scan_window, label="ticket-support",
-            ))
-            dataset.ticket_30min = thirty_minute_scan(grabber, today)
-
-        if config.run_crossdomain and day == config.crossdomain_day:
-            _run_crossdomain(ecosystem, grabber, rng, dataset, today)
-
-        if config.run_probes and day == config.session_probe_day:
-            targets = today[: config.probe_domain_count]
-            dataset.session_probes = resumption_probe(
-                grabber, targets, ProbeConfig(mechanism="session_id")
-            )
-        if config.run_probes and day == config.ticket_probe_day:
-            targets = today[: config.probe_domain_count]
-            dataset.ticket_probes = resumption_probe(
-                grabber, targets, ProbeConfig(mechanism="ticket")
-            )
-
-    for autonomous_system in ecosystem.as_registry.all_systems():
-        dataset.as_names[autonomous_system.asn] = autonomous_system.name
-    if not dataset.domain_asn:
-        for rank, name in ecosystem.alexa_list():
-            try:
-                addresses = ecosystem.dns.resolve_all(name)
-            except KeyError:
-                continue
-            autonomous_system = ecosystem.as_registry.lookup(addresses[0])
-            if autonomous_system is not None:
-                dataset.domain_asn[name] = autonomous_system.asn
-            dataset.domain_ip[name] = str(addresses[0])
-
-    dataset.ticket_daily = ticket_campaign.observations
-    dataset.dhe_daily = dhe_campaign.observations
-    dataset.ecdhe_daily = ecdhe_campaign.observations
-    # A probe scheduled late in the study may run past the nominal end;
-    # only advance if the clock is still behind it.
-    if ecosystem.clock.now() < config.days * DAY:
-        ecosystem.advance_to(config.days * DAY)
-    dataset.always_present = [
-        d.name for d in ecosystem.always_present_domains(config.days - 1)
-    ]
     return dataset
 
 
-def _run_crossdomain(
+def run_study_with_stats(
     ecosystem: Ecosystem,
-    grabber: ZGrabber,
-    rng: DeterministicRandom,
-    dataset: StudyDataset,
-    today: list[tuple[int, str]],
-) -> None:
-    """Build probe targets from observed IPs + whois, then probe."""
-    targets = []
-    for rank, name in today:
-        try:
-            addresses = ecosystem.dns.resolve_all(name)
-        except KeyError:
-            continue
-        ip = addresses[0]
-        autonomous_system = ecosystem.as_registry.lookup(ip)
-        asn = autonomous_system.asn if autonomous_system else None
-        targets.append(ProbeTarget(domain=name, ip=str(ip), asn=asn))
-        dataset.domain_ip[name] = str(ip)
-        if asn is not None:
-            dataset.domain_asn[name] = asn
-    dataset.crossdomain_targets = [t.domain for t in targets]
-    dataset.cache_edges = cross_domain_cache_probe(
-        grabber, targets, rng.fork("crossdomain"), CrossDomainConfig()
+    config: Optional[StudyConfig] = None,
+    progress=None,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    stream_dir: Optional[str] = None,
+    shard_progress: Optional[Callable[[int, int, int, int], None]] = None,
+) -> tuple[StudyDataset, StudyStats]:
+    """Like :func:`run_study` but also returns a :class:`StudyStats`."""
+    config = config or StudyConfig()
+    engine = StudyEngine(config)
+    return engine.run(
+        ecosystem,
+        progress=progress,
+        shard_progress=shard_progress,
+        workers=workers,
+        shards=shards,
+        stream_dir=stream_dir,
     )
 
 
@@ -229,40 +219,38 @@ def _run_crossdomain(
 # Dataset persistence (JSONL directory)
 # ---------------------------------------------------------------------------
 
-_OBSERVATION_FIELDS = (
-    "ticket_daily", "dhe_daily", "ecdhe_daily",
-    "ticket_support", "dhe_support", "ecdhe_support",
-    "ticket_30min", "dhe_30min", "ecdhe_30min",
-)
-
 
 def save_dataset(dataset: StudyDataset, directory: str) -> None:
-    """Persist a dataset as JSONL files plus a meta.json."""
+    """Persist a dataset as JSONL files plus a meta.json.
+
+    Thin wrapper over the datastore layout the streaming engine writes
+    directly: saving a stream-backed dataset to its own directory only
+    refreshes ``meta.json`` (the channel files are already in place).
+    """
     os.makedirs(directory, exist_ok=True)
-    for name in _OBSERVATION_FIELDS:
-        write_jsonl(os.path.join(directory, f"{name}.jsonl"), getattr(dataset, name))
-    write_jsonl(os.path.join(directory, "session_probes.jsonl"), dataset.session_probes)
-    write_jsonl(os.path.join(directory, "ticket_probes.jsonl"), dataset.ticket_probes)
-    write_jsonl(os.path.join(directory, "cache_edges.jsonl"), dataset.cache_edges)
-    meta = {
-        "days": dataset.days,
-        "day0_list": dataset.day0_list,
-        "always_present": dataset.always_present,
-        "ranks": dataset.ranks,
-        "crossdomain_targets": dataset.crossdomain_targets,
-        "domain_asn": dataset.domain_asn,
-        "domain_ip": dataset.domain_ip,
-        "as_names": dataset.as_names,
-        "list_sizes": dataset.list_sizes,
-    }
-    with open(os.path.join(directory, "meta.json"), "w", encoding="utf-8") as fh:
-        json.dump(meta, fh)
+    for name in CHANNELS:
+        rows = getattr(dataset, name)
+        target = channel_path(directory, name)
+        if (
+            isinstance(rows, LazyRecordView)
+            and os.path.exists(rows.path)
+            and os.path.exists(target)
+            and os.path.samefile(rows.path, target)
+        ):
+            continue
+        with JsonlWriter(target) as writer:
+            writer.append_many(rows)
+    write_meta(directory, dataset.meta())
 
 
 def load_dataset(directory: str) -> StudyDataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
-    with open(os.path.join(directory, "meta.json"), "r", encoding="utf-8") as fh:
-        meta = json.load(fh)
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Record channels come back as :class:`LazyRecordView` objects backed
+    by the directory's JSONL files — nothing is materialized until an
+    analysis iterates it.
+    """
+    meta = read_meta(directory)
     dataset = StudyDataset(days=meta["days"])
     dataset.day0_list = [tuple(item) for item in meta["day0_list"]]
     dataset.always_present = meta["always_present"]
@@ -274,19 +262,17 @@ def load_dataset(directory: str) -> StudyDataset:
     dataset.list_sizes = {
         k: tuple(v) for k, v in meta.get("list_sizes", {}).items()
     }
-    for name in _OBSERVATION_FIELDS:
-        path = os.path.join(directory, f"{name}.jsonl")
-        setattr(dataset, name, list(read_jsonl(path, ScanObservation)))
-    dataset.session_probes = list(
-        read_jsonl(os.path.join(directory, "session_probes.jsonl"), ResumptionProbeResult)
-    )
-    dataset.ticket_probes = list(
-        read_jsonl(os.path.join(directory, "ticket_probes.jsonl"), ResumptionProbeResult)
-    )
-    dataset.cache_edges = list(
-        read_jsonl(os.path.join(directory, "cache_edges.jsonl"), CrossDomainEdge)
-    )
+    for name, view in open_channel_views(directory).items():
+        setattr(dataset, name, view)
     return dataset
 
 
-__all__ = ["StudyConfig", "StudyDataset", "run_study", "save_dataset", "load_dataset"]
+__all__ = [
+    "StudyConfig",
+    "StudyDataset",
+    "StudyStats",
+    "run_study",
+    "run_study_with_stats",
+    "save_dataset",
+    "load_dataset",
+]

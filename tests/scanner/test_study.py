@@ -3,7 +3,11 @@
 These use the shared session-scoped study dataset to stay fast.
 """
 
-from repro.scanner import StudyDataset, load_dataset, save_dataset
+import dataclasses
+
+import pytest
+
+from repro.scanner import StudyConfig, StudyDataset, load_dataset, save_dataset
 
 from conftest import SMALL_DAYS, SMALL_POPULATION
 
@@ -110,3 +114,88 @@ def test_empty_dataset_roundtrip(tmp_path):
     loaded = load_dataset(str(directory))
     assert loaded.days == 0
     assert loaded.ticket_daily == []
+
+
+def test_dataset_roundtrip_every_field(small_study, tmp_path):
+    """save → load restores *every* dataset field, types included."""
+    _, dataset = small_study
+    directory = tmp_path / "full"
+    save_dataset(dataset, str(directory))
+    loaded = load_dataset(str(directory))
+    for f in dataclasses.fields(StudyDataset):
+        original = getattr(dataset, f.name)
+        restored = getattr(loaded, f.name)
+        if f.name == "day0_list":
+            assert restored == [tuple(pair) for pair in original], f.name
+        else:
+            assert restored == original, f.name
+    # JSON round-trip hazards, explicitly: tuples and int keys.
+    assert all(isinstance(pair, tuple) for pair in loaded.day0_list)
+    assert loaded.list_sizes and all(
+        isinstance(v, tuple) for v in loaded.list_sizes.values()
+    )
+    assert loaded.as_names and all(
+        isinstance(k, int) for k in loaded.as_names
+    )
+
+
+def test_saving_loaded_dataset_is_idempotent(small_study, tmp_path):
+    """Re-saving a lazy (loaded) dataset to its own directory is a no-op
+    for channel files and doesn't truncate what the views read."""
+    _, dataset = small_study
+    directory = tmp_path / "ds"
+    save_dataset(dataset, str(directory))
+    loaded = load_dataset(str(directory))
+    count = len(loaded.ticket_daily)
+    assert count > 0
+    save_dataset(loaded, str(directory))
+    again = load_dataset(str(directory))
+    assert len(again.ticket_daily) == count
+    assert again.ticket_daily == dataset.ticket_daily
+
+
+class TestStudyConfigValidation:
+    def test_default_schedule_is_valid(self):
+        StudyConfig()  # paper schedule inside 63 days
+
+    def test_rejects_out_of_range_experiment_day(self):
+        with pytest.raises(ValueError, match="ticket_probe_day=58"):
+            StudyConfig(days=45)  # probes at 56/58 fall outside range(45)
+
+    def test_error_names_every_offending_field(self):
+        with pytest.raises(ValueError) as excinfo:
+            StudyConfig(days=10)
+        message = str(excinfo.value)
+        for name in ("dhe_support_day", "ecdhe_support_day",
+                     "ticket_support_day", "crossdomain_day",
+                     "session_probe_day", "ticket_probe_day"):
+            assert name in message
+
+    def test_rejects_negative_day(self):
+        with pytest.raises(ValueError, match="crossdomain_day=-1"):
+            StudyConfig(crossdomain_day=-1)
+
+    def test_disabled_experiments_not_validated(self):
+        config = StudyConfig(
+            days=5,
+            run_support_scans=False, run_crossdomain=False, run_probes=False,
+        )
+        assert config.days == 5  # paper-day defaults ignored when disabled
+
+    def test_day_equal_to_days_rejected(self):
+        """day == days means the experiment would silently never run —
+        the exact latent bug the CLI had with short --days values."""
+        with pytest.raises(ValueError, match="session_probe_day=6"):
+            StudyConfig(
+                days=6,
+                dhe_support_day=1, ecdhe_support_day=2, ticket_support_day=3,
+                crossdomain_day=4, session_probe_day=6, ticket_probe_day=5,
+            )
+
+    def test_rejects_bad_execution_knobs(self):
+        with pytest.raises(ValueError, match="days"):
+            StudyConfig(days=0)
+        with pytest.raises(ValueError, match="shards"):
+            StudyConfig(shards=0)
+        with pytest.raises(ValueError, match="workers"):
+            StudyConfig(workers=-1)
