@@ -29,7 +29,10 @@ from pathlib import Path
 
 import pytest
 
+# Make this directory and the shared test helpers importable from any
+# benchmark module (pytest rootdir-relative imports don't cover either).
 sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
 
 from repro.hosting import EcosystemConfig, build_ecosystem
 from repro.scanner import StudyConfig, load_dataset, run_study, save_dataset

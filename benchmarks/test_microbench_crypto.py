@@ -12,11 +12,7 @@ from repro.crypto.aes import AES
 from repro.crypto.rng import DeterministicRandom
 from repro.tls.ciphers import MODERN_BROWSER_OFFER
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests"))
-from helpers import make_rig
+from helpers import make_rig  # importable via conftest's sys.path setup
 
 
 RNG = DeterministicRandom(31415)

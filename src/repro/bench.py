@@ -1,0 +1,341 @@
+"""Repeatable performance benchmarks: ``python -m repro.bench``.
+
+The measurement pipeline's throughput ceiling is the pure-Python
+crypto underneath millions of simulated handshakes, so this harness
+tracks two layers on every PR:
+
+* **micro** — ops/sec of the primitives the scans lean on (AES blocks,
+  ticket seal/open under one STEK, CBC, RSA-CRT signing, EC scalar
+  multiplication, full and abbreviated handshakes);
+* **e2e** — wall-clock and grabs/sec for a small reference study run
+  end-to-end through the sharded scan engine.
+
+Results are emitted as JSON (``BENCH_<label>.json`` at the repo root
+by convention) so the perf trajectory across PRs lives in version
+control next to the code that produced it.  ``--baseline`` merges a
+previously captured run into the output under ``"baseline"`` and
+prints speedup ratios, which is how a PR records the numbers it is
+claiming credit against.
+
+Examples::
+
+    python -m repro.bench --quick --out BENCH_PR2.json
+    python -m repro.bench --baseline .bench_cache/baseline.json \
+        --label PR2 --out BENCH_PR2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Optional
+
+from .crypto import ec, rsa
+from .crypto.aes import AES
+from .crypto.modes import cbc_decrypt, cbc_encrypt
+from .crypto.rng import DeterministicRandom
+from .tls.ciphers import MODERN_BROWSER_OFFER
+from .tls.client import TLSClient
+from .tls.constants import ProtocolVersion
+from .tls.keyexchange import KexReusePolicy, ReuseMode
+from .tls.server import ServerConfig, TLSServer, TicketPolicy
+from .tls.session import SessionCache, SessionState
+from .tls.ticket import (
+    STEKStore,
+    TicketFormat,
+    generate_stek,
+    open_ticket,
+    seal_ticket,
+)
+from .x509 import CertificateAuthority, TrustStore
+
+
+# --- timing core -------------------------------------------------------
+
+def _measure(fn: Callable[[], object], seconds: float) -> dict:
+    """Run ``fn`` repeatedly for ~``seconds``; return ops/sec stats.
+
+    One warm-up call runs first (populating lazy tables and caches —
+    steady-state throughput is what the trajectory tracks, not
+    first-call latency).
+    """
+    fn()
+    # Calibrate a batch size so the timed loop overhead is negligible.
+    batch, elapsed = 1, 0.0
+    while True:
+        start = time.perf_counter()
+        for _ in range(batch):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed > seconds / 20 or batch >= 1 << 20:
+            break
+        batch *= 4
+    iters = max(1, int(batch * (seconds / max(elapsed, 1e-9))))
+    start = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    total = time.perf_counter() - start
+    return {
+        "ops_per_sec": round(iters / total, 2),
+        "iterations": iters,
+        "seconds": round(total, 4),
+    }
+
+
+# --- a self-contained TLS rig ------------------------------------------
+
+class _Clock:
+    def __init__(self) -> None:
+        self.value = 1000.0
+
+    def now(self) -> float:
+        return self.value
+
+
+def _make_rig(seed: int = 2718, ticket_window: float = 10**9):
+    """One CA + server + client wired together (mirrors the test rig)."""
+    rng = DeterministicRandom(seed)
+    clock = _Clock()
+    ca = CertificateAuthority("Bench CA", rsa.generate_keypair(512, rng))
+    trust = TrustStore()
+    trust.add_root(ca.name, ca.public_key)
+    server_key = rsa.generate_keypair(512, rng)
+    cert = ca.issue(["bench.example", "*.bench.example"], server_key.public, 0, 10**9)
+    stek_store = STEKStore(generate_stek(rng, clock.now()))
+    config = ServerConfig(
+        certificate=cert,
+        private_key=server_key,
+        supported_suites=MODERN_BROWSER_OFFER,
+        session_cache=SessionCache(300.0),
+        stek_store=stek_store,
+        ticket_policy=TicketPolicy(accept_window_seconds=ticket_window),
+        kex_policy=KexReusePolicy(ReuseMode.FRESH),
+        curve=ec.SECP128R1,
+    )
+    server = TLSServer(config, rng.fork("server"), clock.now)
+    client = TLSClient(rng.fork("client"), trust, clock.now)
+    return server, client
+
+
+# --- microbenchmarks ---------------------------------------------------
+
+def run_micro(seconds: float) -> dict:
+    """Primitive-level throughput measurements."""
+    rng = DeterministicRandom(31415)
+    results: dict[str, dict] = {}
+
+    cipher = AES(rng.random_bytes(16))
+    block = rng.random_bytes(16)
+    results["aes_encrypt_block"] = _measure(lambda: cipher.encrypt_block(block), seconds)
+    results["aes_decrypt_block"] = _measure(lambda: cipher.decrypt_block(block), seconds)
+
+    # STEK reuse is the paper's whole subject: one key seals/opens huge
+    # ticket volumes, so per-call key-schedule cost dominates untuned
+    # implementations.  This pair is the PR-2 headline metric.
+    stek = generate_stek(rng, 0.0)
+    session = SessionState(
+        master_secret=rng.random_bytes(48),
+        cipher_suite=MODERN_BROWSER_OFFER[0],
+        version=ProtocolVersion.TLS12,
+        created_at=0.0,
+        domain="bench.example",
+    )
+    seal_rng = DeterministicRandom(999)
+    results["ticket_seal"] = _measure(
+        lambda: seal_ticket(stek, session, seal_rng), seconds
+    )
+    ticket = seal_ticket(stek, session, DeterministicRandom(1000))
+    results["ticket_open"] = _measure(lambda: open_ticket(stek, ticket), seconds)
+
+    key, iv = rng.random_bytes(16), rng.random_bytes(16)
+    kilobyte = rng.random_bytes(1024)
+    sealed_kb = cbc_encrypt(key, iv, kilobyte)
+    results["cbc_encrypt_1k"] = _measure(lambda: cbc_encrypt(key, iv, kilobyte), seconds)
+    results["cbc_decrypt_1k"] = _measure(lambda: cbc_decrypt(key, iv, sealed_kb), seconds)
+
+    signing_key = rsa.generate_keypair(512, rng)
+    results["rsa_sign"] = _measure(
+        lambda: signing_key.sign(b"server key exchange params"), seconds
+    )
+
+    for curve in (ec.SECP128R1, ec.P256):
+        scalar_rng = DeterministicRandom(curve.name)
+        point = ec.scalar_mult_base(curve, scalar_rng.randrange(1, curve.n))
+        results[f"ec_base_mult_{curve.name}"] = _measure(
+            lambda: ec.scalar_mult_base(curve, scalar_rng.randrange(1, curve.n)),
+            seconds,
+        )
+        results[f"ec_scalar_mult_{curve.name}"] = _measure(
+            lambda: ec.scalar_mult(curve, scalar_rng.randrange(1, curve.n), point),
+            seconds,
+        )
+
+    server, client = _make_rig()
+
+    def full_handshake():
+        result = client.connect(server, "bench.example", offer=MODERN_BROWSER_OFFER)
+        assert result.ok
+        return result
+
+    results["full_handshake"] = _measure(full_handshake, seconds)
+
+    first = client.connect(server, "bench.example")
+    assert first.ok and first.new_ticket is not None
+
+    def abbreviated_handshake():
+        result = client.connect(
+            server,
+            "bench.example",
+            ticket=first.new_ticket.ticket,
+            saved_session=first.session,
+        )
+        assert result.resumed
+        return result
+
+    results["abbreviated_handshake"] = _measure(abbreviated_handshake, seconds)
+    return results
+
+
+# --- end-to-end reference study ----------------------------------------
+
+def run_e2e(quick: bool) -> dict:
+    """Run the reference mini-study through the engine; report grabs/sec."""
+    from .hosting import EcosystemConfig, build_ecosystem
+    from .scanner import StudyConfig, run_study_with_stats
+
+    population = 320
+    days = 2 if quick else 4
+    config = StudyConfig(
+        days=days,
+        seed=404,
+        probe_domain_count=40,
+        dhe_support_day=1,
+        ecdhe_support_day=1,
+        ticket_support_day=1,
+        crossdomain_day=1,
+        session_probe_day=1,
+        ticket_probe_day=1,
+    )
+    ecosystem = build_ecosystem(EcosystemConfig(population=population, seed=2016))
+    _, stats = run_study_with_stats(ecosystem, config)
+    return {
+        "reference_study": {
+            "population": population,
+            "days": days,
+            "grabs": stats.grabs,
+            "seconds": round(stats.elapsed_seconds, 3),
+            "grabs_per_sec": round(stats.grabs_per_sec, 2),
+        }
+    }
+
+
+# --- orchestration -----------------------------------------------------
+
+_SPEEDUP_KEYS = (
+    ("micro", "ticket_seal", "ops_per_sec"),
+    ("micro", "ticket_open", "ops_per_sec"),
+    ("micro", "full_handshake", "ops_per_sec"),
+    ("micro", "abbreviated_handshake", "ops_per_sec"),
+    ("e2e", "reference_study", "grabs_per_sec"),
+)
+
+
+def _lookup(report: dict, path: tuple) -> Optional[float]:
+    node = report
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def compute_speedups(report: dict, baseline: dict) -> dict:
+    """current/baseline ratios for the headline metrics."""
+    speedups = {}
+    for path in _SPEEDUP_KEYS:
+        current, base = _lookup(report, path), _lookup(baseline, path)
+        if current and base:
+            speedups["/".join(path[:-1])] = round(current / base, 2)
+    return speedups
+
+
+def run_bench(
+    quick: bool = False,
+    label: str = "dev",
+    baseline_path: Optional[str] = None,
+    micro_seconds: Optional[float] = None,
+) -> dict:
+    seconds = micro_seconds if micro_seconds is not None else (0.1 if quick else 0.5)
+    report = {
+        "label": label,
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "micro": run_micro(seconds),
+        "e2e": run_e2e(quick),
+    }
+    if baseline_path:
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        report["baseline"] = {
+            "label": baseline.get("label", "baseline"),
+            "micro": baseline.get("micro", {}),
+            "e2e": baseline.get("e2e", {}),
+        }
+        report["speedup"] = compute_speedups(report, baseline)
+    return report
+
+
+def render(report: dict) -> str:
+    lines = [f"benchmark report ({report['label']}, python {report['python']})"]
+    width = max(len(name) for name in report["micro"])
+    for name, stats in report["micro"].items():
+        lines.append(f"  {name:<{width}}  {stats['ops_per_sec']:>12,.1f} ops/s")
+    for name, stats in report["e2e"].items():
+        lines.append(
+            f"  {name:<{width}}  {stats['grabs_per_sec']:>12,.1f} grabs/s "
+            f"({stats['grabs']:,} grabs in {stats['seconds']}s)"
+        )
+    for name, ratio in report.get("speedup", {}).items():
+        lines.append(f"  speedup {name}: {ratio}x vs {report['baseline']['label']}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="micro + end-to-end performance benchmarks",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="short timing windows and a 2-day e2e study "
+                             "(CI smoke mode)")
+    parser.add_argument("--label", default="dev",
+                        help="run label recorded in the JSON (e.g. PR2)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--baseline", default=None,
+                        help="previously captured JSON to diff against; "
+                             "merged into the output under 'baseline'")
+    parser.add_argument("--micro-seconds", type=float, default=None,
+                        help="seconds per microbenchmark (default 0.5, "
+                             "0.1 with --quick)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        quick=args.quick,
+        label=args.label,
+        baseline_path=args.baseline,
+        micro_seconds=args.micro_seconds,
+    )
+    print(render(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

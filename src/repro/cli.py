@@ -214,6 +214,20 @@ def cmd_audit(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .bench import main as bench_main
+
+    forwarded: list[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    forwarded += ["--label", args.label]
+    if args.out:
+        forwarded += ["--out", args.out]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    return bench_main(forwarded)
+
+
 def cmd_target(args) -> int:
     from .nationstate import analyze_target, render_report
 
@@ -263,6 +277,15 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--worst", type=int, default=0,
                        help="also list the N most exposed domains")
     audit.set_defaults(func=cmd_audit)
+
+    bench = sub.add_parser("bench", help="micro + end-to-end performance benchmarks")
+    bench.add_argument("--quick", action="store_true",
+                       help="short timing windows (CI smoke mode)")
+    bench.add_argument("--label", default="dev")
+    bench.add_argument("--out", default=None, help="write JSON report here")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline JSON to compute speedups against")
+    bench.set_defaults(func=cmd_bench)
 
     target = sub.add_parser("target", help="§7.2 nation-state target analysis")
     target.add_argument("domain", nargs="?", default="google.com")

@@ -15,6 +15,8 @@ to the FIPS 197 vectors in the test suite.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 BLOCK_SIZE = 16
 
 _SBOX = [0] * 256
@@ -119,6 +121,7 @@ class AES:
         self.key = key
         self._nk = len(key) // 4
         self._nr = self._nk + 6
+        self._rounds = range(self._nr - 1)  # hoisted out of the block loop
         self._enc_keys = self._expand_key(key)
         self._dec_keys = self._decryption_keys(self._enc_keys)
 
@@ -159,17 +162,21 @@ class AES:
                 dec.extend(_inv_mix_word(w) for w in block)
         return dec
 
-    def encrypt_block(self, block: bytes) -> bytes:
-        if len(block) != BLOCK_SIZE:
-            raise ValueError("AES operates on 16-byte blocks")
+    def encrypt_int(self, state: int) -> int:
+        """Encrypt one block held as a 128-bit big-endian integer.
+
+        The integer form is the cipher-mode fast path: CBC chaining and
+        CTR keystream generation are whole-block XORs on ints, so modes
+        avoid four ``int``/``bytes`` conversions per block per call.
+        """
         rk = self._enc_keys
         t0, t1, t2, t3 = _T0, _T1, _T2, _T3
-        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
-        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
-        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
-        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        s0 = (state >> 96) ^ rk[0]
+        s1 = ((state >> 64) & 0xFFFFFFFF) ^ rk[1]
+        s2 = ((state >> 32) & 0xFFFFFFFF) ^ rk[2]
+        s3 = (state & 0xFFFFFFFF) ^ rk[3]
         k = 4
-        for _ in range(self._nr - 1):
+        for _ in self._rounds:
             u0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF] ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ rk[k]
             u1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF] ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ rk[k + 1]
             u2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF] ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ rk[k + 2]
@@ -177,32 +184,27 @@ class AES:
             s0, s1, s2, s3 = u0, u1, u2, u3
             k += 4
         sbox = _SBOX
-        out = bytearray(16)
-        w0 =(sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16) | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]
+        w0 = (sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16) | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]
         w1 = (sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16) | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]
         w2 = (sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16) | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]
         w3 = (sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16) | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]
-        w0 ^= rk[k]
-        w1 ^= rk[k + 1]
-        w2 ^= rk[k + 2]
-        w3 ^= rk[k + 3]
-        out[0:4] = w0.to_bytes(4, "big")
-        out[4:8] = w1.to_bytes(4, "big")
-        out[8:12] = w2.to_bytes(4, "big")
-        out[12:16] = w3.to_bytes(4, "big")
-        return bytes(out)
+        return (
+            ((w0 ^ rk[k]) << 96)
+            | ((w1 ^ rk[k + 1]) << 64)
+            | ((w2 ^ rk[k + 2]) << 32)
+            | (w3 ^ rk[k + 3])
+        )
 
-    def decrypt_block(self, block: bytes) -> bytes:
-        if len(block) != BLOCK_SIZE:
-            raise ValueError("AES operates on 16-byte blocks")
+    def decrypt_int(self, state: int) -> int:
+        """Decrypt one block held as a 128-bit big-endian integer."""
         rk = self._dec_keys
         d0, d1, d2, d3 = _D0, _D1, _D2, _D3
-        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
-        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
-        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
-        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        s0 = (state >> 96) ^ rk[0]
+        s1 = ((state >> 64) & 0xFFFFFFFF) ^ rk[1]
+        s2 = ((state >> 32) & 0xFFFFFFFF) ^ rk[2]
+        s3 = (state & 0xFFFFFFFF) ^ rk[3]
         k = 4
-        for _ in range(self._nr - 1):
+        for _ in self._rounds:
             u0 = d0[s0 >> 24] ^ d1[(s3 >> 16) & 0xFF] ^ d2[(s2 >> 8) & 0xFF] ^ d3[s1 & 0xFF] ^ rk[k]
             u1 = d0[s1 >> 24] ^ d1[(s0 >> 16) & 0xFF] ^ d2[(s3 >> 8) & 0xFF] ^ d3[s2 & 0xFF] ^ rk[k + 1]
             u2 = d0[s2 >> 24] ^ d1[(s1 >> 16) & 0xFF] ^ d2[(s0 >> 8) & 0xFF] ^ d3[s3 & 0xFF] ^ rk[k + 2]
@@ -214,16 +216,52 @@ class AES:
         w1 = (inv[s1 >> 24] << 24) | (inv[(s0 >> 16) & 0xFF] << 16) | (inv[(s3 >> 8) & 0xFF] << 8) | inv[s2 & 0xFF]
         w2 = (inv[s2 >> 24] << 24) | (inv[(s1 >> 16) & 0xFF] << 16) | (inv[(s0 >> 8) & 0xFF] << 8) | inv[s3 & 0xFF]
         w3 = (inv[s3 >> 24] << 24) | (inv[(s2 >> 16) & 0xFF] << 16) | (inv[(s1 >> 8) & 0xFF] << 8) | inv[s0 & 0xFF]
-        w0 ^= rk[k]
-        w1 ^= rk[k + 1]
-        w2 ^= rk[k + 2]
-        w3 ^= rk[k + 3]
-        out = bytearray(16)
-        out[0:4] = w0.to_bytes(4, "big")
-        out[4:8] = w1.to_bytes(4, "big")
-        out[8:12] = w2.to_bytes(4, "big")
-        out[12:16] = w3.to_bytes(4, "big")
-        return bytes(out)
+        return (
+            ((w0 ^ rk[k]) << 96)
+            | ((w1 ^ rk[k + 1]) << 64)
+            | ((w2 ^ rk[k + 2]) << 32)
+            | (w3 ^ rk[k + 3])
+        )
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("AES operates on 16-byte blocks")
+        return self.encrypt_int(int.from_bytes(block, "big")).to_bytes(16, "big")
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("AES operates on 16-byte blocks")
+        return self.decrypt_int(int.from_bytes(block, "big")).to_bytes(16, "big")
 
 
-__all__ = ["AES", "BLOCK_SIZE"]
+# --- key-schedule cache ------------------------------------------------
+#
+# A STEK is by definition reused across huge ticket volumes — the very
+# phenomenon the paper measures — so rebuilding the key schedule per
+# seal/open would dominate ticket throughput.  AES instances are
+# immutable after construction, which makes sharing one expansion per
+# key across all callers safe (see DESIGN.md's cache-safety rules).
+
+_INSTANCE_CACHE: "OrderedDict[bytes, AES]" = OrderedDict()
+_INSTANCE_CACHE_MAX = 256
+
+
+def aes_for_key(key: bytes) -> AES:
+    """Return a cached :class:`AES` for ``key``, expanding it at most once.
+
+    Bounded LRU: the simulation's working set is the live STEKs plus
+    record-layer keys, far below the cap; eviction only protects against
+    pathological key churn.
+    """
+    cipher = _INSTANCE_CACHE.get(key)
+    if cipher is None:
+        cipher = AES(key)
+        _INSTANCE_CACHE[key] = cipher
+        if len(_INSTANCE_CACHE) > _INSTANCE_CACHE_MAX:
+            _INSTANCE_CACHE.popitem(last=False)
+    else:
+        _INSTANCE_CACHE.move_to_end(key)
+    return cipher
+
+
+__all__ = ["AES", "BLOCK_SIZE", "aes_for_key"]

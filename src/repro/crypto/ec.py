@@ -13,7 +13,7 @@ scanner's reuse detector keys on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from .rng import DeterministicRandom
@@ -30,11 +30,16 @@ class Curve:
     gx: int  # base point x
     gy: int  # base point y
     n: int   # base point order
+    #: Width of one coordinate on the wire; derived once at construction
+    #: (``encode_point``/``decode_point`` are per-handshake hot paths).
+    coordinate_bytes: int = field(init=False, repr=False, compare=False, default=0)
+    #: True when ``a ≡ -3 (mod p)`` (all the NIST/SEC2 curves here),
+    #: enabling the cheaper doubling formula.
+    a_is_minus_3: bool = field(init=False, repr=False, compare=False, default=False)
 
-    @property
-    def coordinate_bytes(self) -> int:
-        """Width of one coordinate on the wire."""
-        return (self.p.bit_length() + 7) // 8
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coordinate_bytes", (self.p.bit_length() + 7) // 8)
+        object.__setattr__(self, "a_is_minus_3", self.a % self.p == self.p - 3)
 
 
 # NIST P-256 / secp256r1 (RFC 4492 named curve 23) — the dominant
@@ -156,7 +161,12 @@ def _jacobian_double(curve: Curve, jac: tuple[int, int, int]) -> tuple[int, int,
     p = curve.p
     ysq = y * y % p
     s = 4 * x * ysq % p
-    m = (3 * x * x + curve.a * pow(z, 4, p)) % p
+    zsq = z * z % p
+    if curve.a_is_minus_3:
+        # a = -3 (all NIST/SEC2 curves here): 3x² + a·z⁴ = 3(x−z²)(x+z²).
+        m = 3 * (x - zsq) * (x + zsq) % p
+    else:
+        m = (3 * x * x + curve.a * zsq * zsq) % p
     nx = (m * m - 2 * s) % p
     ny = (m * (s - nx) - 8 * ysq * ysq) % p
     nz = 2 * y * z % p
@@ -211,20 +221,61 @@ def point_neg(curve: Curve, a: Point) -> Point:
     return (a[0], (-a[1]) % curve.p)
 
 
+_WNAF_WIDTH = 5
+
+
+def _wnaf_digits(k: int, width: int) -> list[int]:
+    """Width-``w`` non-adjacent form of ``k``, least significant first.
+
+    Digits are odd values in ``(-2^(w-1), 2^(w-1))`` or zero, with at
+    most one nonzero digit per ``w`` consecutive positions — so the
+    main loop averages ``bits/(w+1)`` additions instead of ``bits/2``
+    for plain double-and-add.
+    """
+    digits = []
+    modulus = 1 << width
+    half = modulus >> 1
+    while k:
+        if k & 1:
+            digit = k & (modulus - 1)
+            if digit >= half:
+                digit -= modulus
+            k -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        k >>= 1
+    return digits
+
+
 def scalar_mult(curve: Curve, k: int, point: Point) -> Point:
-    """Compute ``k · point`` by double-and-add in Jacobian coordinates."""
+    """Compute ``k · point`` by windowed-NAF in Jacobian coordinates.
+
+    This is the variable-point half of ECDHE (``d · peer_public``);
+    fixed-base ``d · G`` goes through :func:`scalar_mult_base`'s comb
+    table instead.  wNAF yields the same affine result as double-and-add
+    for every scalar, so swapping it in cannot perturb wire bytes.
+    """
     if point is not None and not is_on_curve(curve, point):
         raise NotOnCurveError(f"point is not on {curve.name}")
     k %= curve.n
     if k == 0 or point is None:
         return None
+    p = curve.p
+    base = _to_jacobian(point)
+    # Odd multiples P, 3P, ..., (2^(w-1) - 1)P; table[i] = (2i+1)·P.
+    twice = _jacobian_double(curve, base)
+    table = [base]
+    for _ in range((1 << (_WNAF_WIDTH - 2)) - 1):
+        table.append(_jacobian_add(curve, table[-1], twice))
     result = (1, 1, 0)
-    addend = _to_jacobian(point)
-    while k:
-        if k & 1:
-            result = _jacobian_add(curve, result, addend)
-        addend = _jacobian_double(curve, addend)
-        k >>= 1
+    for digit in reversed(_wnaf_digits(k, _WNAF_WIDTH)):
+        result = _jacobian_double(curve, result)
+        if digit > 0:
+            result = _jacobian_add(curve, result, table[digit >> 1])
+        elif digit < 0:
+            x, y, z = table[(-digit) >> 1]
+            result = _jacobian_add(curve, result, (x, (p - y) % p, z))
     return _from_jacobian(curve, result)
 
 

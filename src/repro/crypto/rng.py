@@ -14,7 +14,6 @@ experiments replayable.
 
 from __future__ import annotations
 
-import hashlib
 import hmac
 
 
@@ -42,7 +41,8 @@ class DeterministicRandom:
         self.bytes_generated = 0
 
     def _hmac(self, key: bytes, data: bytes) -> bytes:
-        return hmac.new(key, data, hashlib.sha256).digest()
+        # One-shot fast path; byte-identical to hmac.new(...).digest().
+        return hmac.digest(key, data, "sha256")
 
     def _update(self, provided: bytes | None) -> None:
         self._key = self._hmac(self._key, self._value + b"\x00" + (provided or b""))

@@ -15,6 +15,7 @@ interoperates with external verifiers).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from .mac import sha256
 from .rng import DeterministicRandom
@@ -78,6 +79,11 @@ class RSAPublicKey:
     def bits(self) -> int:
         return self.n.bit_length()
 
+    @cached_property
+    def byte_length(self) -> int:
+        """Modulus width in bytes (signature wire size)."""
+        return (self.n.bit_length() + 7) // 8
+
     def verify(self, message: bytes, signature: int) -> bool:
         """Verify a signature over ``message``."""
         if not 0 <= signature < self.n:
@@ -87,8 +93,7 @@ class RSAPublicKey:
 
     def fingerprint(self) -> bytes:
         """A stable 8-byte identifier for grouping keys in analyses."""
-        size = (self.bits + 7) // 8
-        return sha256(self.n.to_bytes(size, "big"))[:8]
+        return sha256(self.n.to_bytes(self.byte_length, "big"))[:8]
 
 
 @dataclass(frozen=True)
@@ -104,6 +109,11 @@ class RSAPrivateKey:
     @property
     def public(self) -> RSAPublicKey:
         return RSAPublicKey(n=self.n, e=self.e)
+
+    @cached_property
+    def byte_length(self) -> int:
+        """Modulus width in bytes (signature wire size)."""
+        return (self.n.bit_length() + 7) // 8
 
     def _crt_params(self) -> tuple[int, int, int]:
         """Memoized CRT exponents/coefficient (dp, dq, q_inv)."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import shutil
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -61,6 +62,14 @@ class StudyStats:
     grabs: int = 0
     scans_by_experiment: dict[str, int] = field(default_factory=dict)
     records_by_channel: dict[str, int] = field(default_factory=dict)
+    # Wall-clock of the whole run (including shard merge), stamped by
+    # StudyEngine.run; benchmarks report grabs/elapsed_seconds.  Not
+    # merged: per-shard elapsed times overlap under workers > 1.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def grabs_per_sec(self) -> float:
+        return self.grabs / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
 
     def merge(self, other: "StudyStats") -> None:
         self.grabs += other.grabs
@@ -79,6 +88,11 @@ class StudyStats:
             f"({self.shards} shard{'s' if self.shards != 1 else ''}, "
             f"{self.workers} worker{'s' if self.workers != 1 else ''})",
         ]
+        if self.elapsed_seconds > 0:
+            lines.append(
+                f"  elapsed {self.elapsed_seconds:.2f}s "
+                f"({self.grabs_per_sec:,.1f} grabs/s)"
+            )
         width = max((len(n) for n in self.scans_by_experiment), default=0)
         for name, count in self.scans_by_experiment.items():
             lines.append(f"  {name:<{width}}  {count:>10,} grabs")
@@ -295,6 +309,7 @@ class StudyEngine:
         """
         from .study import StudyDataset  # local import to avoid a cycle
 
+        run_start = time.perf_counter()
         config = self.config
         shards = shards if shards is not None else getattr(config, "shards", 1)
         workers = workers if workers is not None else getattr(config, "workers", 1)
@@ -323,6 +338,7 @@ class StudyEngine:
             )
 
         dataset, stats = self._merge(results, stream_dir, workers)
+        stats.elapsed_seconds = time.perf_counter() - run_start
         return dataset, stats
 
     # -- sharded execution -------------------------------------------------

@@ -135,6 +135,25 @@ def _signed_blob(client_random: bytes, server_random: bytes, params: bytes) -> b
     return client_random + server_random + params
 
 
+# Params encodings keyed by keypair *value*.  The signature itself can
+# never be cached — it covers both per-handshake randoms — but the
+# params half of the signed blob depends only on the ephemeral keypair,
+# so under any reuse policy the encoding is computed once per
+# EphemeralKeyCache epoch and shared by every handshake in it.
+_PARAMS_CACHE: dict[tuple, bytes] = {}
+_PARAMS_CACHE_MAX = 4096
+
+
+def _cached_params(key: tuple, build) -> bytes:
+    params = _PARAMS_CACHE.get(key)
+    if params is None:
+        params = build()
+        if len(_PARAMS_CACHE) >= _PARAMS_CACHE_MAX:
+            _PARAMS_CACHE.clear()
+        _PARAMS_CACHE[key] = params
+    return params
+
+
 def build_dhe_kex(
     keypair: dh.DHKeyPair,
     signing_key: RSAPrivateKey,
@@ -142,21 +161,22 @@ def build_dhe_kex(
     server_random: bytes,
 ) -> ServerKeyExchangeDHE:
     """Construct a signed DHE ServerKeyExchange message."""
+    prime, generator = keypair.group.prime, keypair.group.generator
+    params = _cached_params(
+        ("dhe", prime, generator, keypair.public),
+        lambda: ServerKeyExchangeDHE(
+            dh_p=prime, dh_g=generator, dh_public=keypair.public, signature=b""
+        ).params_bytes(),
+    )
+    signature = signing_key.sign(_signed_blob(client_random, server_random, params))
     message = ServerKeyExchangeDHE(
-        dh_p=keypair.group.prime,
-        dh_g=keypair.group.generator,
+        dh_p=prime,
+        dh_g=generator,
         dh_public=keypair.public,
-        signature=b"",
+        signature=signature.to_bytes(signing_key.byte_length, "big"),
     )
-    blob = _signed_blob(client_random, server_random, message.params_bytes())
-    signature = signing_key.sign(blob)
-    sig_bytes = signature.to_bytes((signing_key.n.bit_length() + 7) // 8, "big")
-    return ServerKeyExchangeDHE(
-        dh_p=message.dh_p,
-        dh_g=message.dh_g,
-        dh_public=message.dh_public,
-        signature=sig_bytes,
-    )
+    message._params = params
+    return message
 
 
 def build_ecdhe_kex(
@@ -167,12 +187,29 @@ def build_ecdhe_kex(
 ) -> ServerKeyExchangeECDHE:
     """Construct a signed ECDHE ServerKeyExchange message."""
     curve_id = ec.NAMED_CURVE_IDS[keypair.curve.name]
-    point = ec.encode_point(keypair.curve, keypair.public)
-    message = ServerKeyExchangeECDHE(named_curve=curve_id, point=point, signature=b"")
-    blob = _signed_blob(client_random, server_random, message.params_bytes())
-    signature = signing_key.sign(blob)
-    sig_bytes = signature.to_bytes((signing_key.n.bit_length() + 7) // 8, "big")
-    return ServerKeyExchangeECDHE(named_curve=curve_id, point=point, signature=sig_bytes)
+    cache_key = ("ecdhe", keypair.curve.name, keypair.public)
+    cached = _PARAMS_CACHE.get(cache_key)
+    if cached is None:
+        point = ec.encode_point(keypair.curve, keypair.public)
+        params = _cached_params(
+            cache_key,
+            ServerKeyExchangeECDHE(
+                named_curve=curve_id, point=point, signature=b""
+            ).params_bytes,
+        )
+    else:
+        params = cached
+        # Recover the point encoding from the cached params rather than
+        # re-encoding: params = curve_type(1) + named_curve(2) + vec8.
+        point = params[4:]
+    signature = signing_key.sign(_signed_blob(client_random, server_random, params))
+    message = ServerKeyExchangeECDHE(
+        named_curve=curve_id,
+        point=point,
+        signature=signature.to_bytes(signing_key.byte_length, "big"),
+    )
+    message._params = params
+    return message
 
 
 def verify_kex_signature(

@@ -167,17 +167,25 @@ class ServerKeyExchangeDHE:
     dh_g: int
     dh_public: int
     signature: bytes
+    # Memoized params encoding — an ephemeral-reusing server re-sends
+    # identical ServerDHParams for many handshakes, so builders stamp
+    # the cached encoding rather than re-serializing three bignums.
+    # init=False keeps dataclasses.replace() from carrying a stale memo
+    # onto a field-modified copy.
+    _params: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
 
     handshake_type = HandshakeType.SERVER_KEY_EXCHANGE
     kex_name = "dhe"
 
     def params_bytes(self) -> bytes:
         """The ServerDHParams that the signature covers."""
-        writer = ByteWriter()
-        writer.vec16(_int_bytes(self.dh_p))
-        writer.vec16(_int_bytes(self.dh_g))
-        writer.vec16(_int_bytes(self.dh_public))
-        return writer.getvalue()
+        if self._params is None:
+            writer = ByteWriter()
+            writer.vec16(_int_bytes(self.dh_p))
+            writer.vec16(_int_bytes(self.dh_g))
+            writer.vec16(_int_bytes(self.dh_public))
+            self._params = writer.getvalue()
+        return self._params
 
     def serialize_body(self) -> bytes:
         return self.params_bytes() + ByteWriter().vec16(self.signature).getvalue()
@@ -200,17 +208,20 @@ class ServerKeyExchangeECDHE:
     named_curve: int
     point: bytes  # uncompressed SEC1 encoding
     signature: bytes
+    _params: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
 
     handshake_type = HandshakeType.SERVER_KEY_EXCHANGE
     kex_name = "ecdhe"
     CURVE_TYPE_NAMED = 3
 
     def params_bytes(self) -> bytes:
-        writer = ByteWriter()
-        writer.u8(self.CURVE_TYPE_NAMED)
-        writer.u16(self.named_curve)
-        writer.vec8(self.point)
-        return writer.getvalue()
+        if self._params is None:
+            writer = ByteWriter()
+            writer.u8(self.CURVE_TYPE_NAMED)
+            writer.u16(self.named_curve)
+            writer.vec8(self.point)
+            self._params = writer.getvalue()
+        return self._params
 
     def serialize_body(self) -> bytes:
         return self.params_bytes() + ByteWriter().vec16(self.signature).getvalue()

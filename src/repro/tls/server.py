@@ -71,6 +71,24 @@ from .session import SessionCache, SessionState, derive_connection_keys
 from .ticket import STEKStore, TicketFormat
 from .wire import DecodeError
 
+# Per-server static flight parts.  ServerHelloDone is always the same
+# four bytes, and the serialized Certificate message depends only on
+# the certificate presented — both are recomputed per full handshake
+# in a naive implementation, which a scan performs millions of times.
+_SERVER_HELLO_DONE_BYTES = serialize_handshake(ServerHelloDone())
+_CERT_MSG_CACHE: dict[X509Certificate, bytes] = {}
+_CERT_MSG_CACHE_MAX = 8192
+
+
+def _certificate_message_bytes(certificate: X509Certificate) -> bytes:
+    encoded = _CERT_MSG_CACHE.get(certificate)
+    if encoded is None:
+        encoded = serialize_handshake(Certificate(chain=[certificate.serialize()]))
+        if len(_CERT_MSG_CACHE) >= _CERT_MSG_CACHE_MAX:
+            _CERT_MSG_CACHE.clear()
+        _CERT_MSG_CACHE[certificate] = encoded
+    return encoded
+
 
 @dataclass
 class TicketPolicy:
@@ -305,24 +323,26 @@ class TLSServer:
             cipher_suite=session.cipher_suite,
             extensions=extensions,
         )
-        messages = [server_hello]
+        parts = [serialize_handshake(server_hello)]
         if reissue:
             assert self.config.stek_store is not None
             fresh = self.config.stek_store.issue(session, self._rng, now=now)
-            messages.append(
-                NewSessionTicket(
-                    lifetime_hint_seconds=policy.lifetime_hint_seconds, ticket=fresh
+            parts.append(
+                serialize_handshake(
+                    NewSessionTicket(
+                        lifetime_hint_seconds=policy.lifetime_hint_seconds, ticket=fresh
+                    )
                 )
             )
-        for message in messages:
-            transcript += serialize_handshake(message)
+        transcript += b"".join(parts)
         finished = Finished(
             verify_data=verify_data(
                 session.master_secret, b"server finished", sha256(transcript)
             )
         )
-        messages.append(finished)
-        transcript += serialize_handshake(finished)
+        finished_bytes = serialize_handshake(finished)
+        parts.append(finished_bytes)
+        transcript += finished_bytes
 
         conn = ServerConnection(
             client_hello=client_hello,
@@ -335,8 +355,7 @@ class TLSServer:
             resumed_via=resumed_via,
             session=session,
         )
-        payload = b"".join(serialize_handshake(m) for m in messages)
-        flight = serialize_records([handshake_record(payload)])
+        flight = serialize_records([handshake_record(b"".join(parts))])
         return flight, conn
 
     def _accept_full(
@@ -369,7 +388,10 @@ class TLSServer:
             cipher_suite=suite,
             extensions=extensions,
         )
-        messages = [server_hello, Certificate(chain=[certificate.serialize()])]
+        parts = [
+            serialize_handshake(server_hello),
+            _certificate_message_bytes(certificate),
+        ]
 
         conn = ServerConnection(
             client_hello=client_hello,
@@ -386,17 +408,17 @@ class TLSServer:
         if suite.kex == KeyExchangeKind.DHE:
             keypair = self.kex_cache.get_dh(self.config.dh_group, self._rng, now)
             conn.kex_dh = keypair
-            messages.append(
+            parts.append(serialize_handshake(
                 build_dhe_kex(keypair, private_key, client_hello.random, server_random)
-            )
+            ))
         elif suite.kex == KeyExchangeKind.ECDHE:
             keypair = self.kex_cache.get_ec(self.config.curve, self._rng, now)
             conn.kex_ec = keypair
-            messages.append(
+            parts.append(serialize_handshake(
                 build_ecdhe_kex(keypair, private_key, client_hello.random, server_random)
-            )
-        messages.append(ServerHelloDone())
-        payload = b"".join(serialize_handshake(m) for m in messages)
+            ))
+        parts.append(_SERVER_HELLO_DONE_BYTES)
+        payload = b"".join(parts)
         conn.transcript += payload
         flight = serialize_records([handshake_record(payload)])
         return flight, conn
@@ -450,31 +472,32 @@ class TLSServer:
         if self.config.session_cache is not None and conn.session_id:
             self.config.session_cache.store(conn.session_id, session, now)
 
-        messages = []
+        parts = []
         if conn.will_issue_ticket:
             assert self.config.stek_store is not None
             ticket = self.config.stek_store.issue(session, self._rng, now=now)
-            messages.append(
-                NewSessionTicket(
-                    lifetime_hint_seconds=self.config.ticket_policy.lifetime_hint_seconds,
-                    ticket=ticket,
+            parts.append(
+                serialize_handshake(
+                    NewSessionTicket(
+                        lifetime_hint_seconds=self.config.ticket_policy.lifetime_hint_seconds,
+                        ticket=ticket,
+                    )
                 )
             )
-        for message in messages:
-            conn.transcript += serialize_handshake(message)
+        conn.transcript += b"".join(parts)
         finished = Finished(
             verify_data=verify_data(master, b"server finished", sha256(conn.transcript))
         )
-        messages.append(finished)
-        conn.transcript += serialize_handshake(finished)
+        finished_bytes = serialize_handshake(finished)
+        parts.append(finished_bytes)
+        conn.transcript += finished_bytes
         conn.completed = True
         self.full_handshakes += 1
 
         keys = derive_connection_keys(session, conn.client_hello.random, conn.server_random)
         conn.record_cipher = new_record_cipher(keys, is_client=False, suite=conn.cipher_suite)
 
-        payload = b"".join(serialize_handshake(m) for m in messages)
-        return serialize_records([handshake_record(payload)])
+        return serialize_records([handshake_record(b"".join(parts))])
 
     def finish_abbreviated(self, conn: ServerConnection, client_finished_bytes: bytes) -> None:
         """Verify the client Finished that closes an abbreviated handshake."""

@@ -33,7 +33,7 @@ from ..crypto.rng import DeterministicRandom
 from .ciphers import SUITES_BY_CODE
 from .constants import ProtocolVersion
 from .session import SessionState
-from .wire import ByteReader, ByteWriter, DecodeError
+from .wire import ByteReader, DecodeError
 
 
 class TicketFormat(Enum):
@@ -97,36 +97,48 @@ class TicketContents:
     issued_at: float
 
 
+# The state codec is a scanner-side hot path (every seal and every open
+# runs it), so it assembles/slices bytes directly instead of going
+# through ByteWriter/ByteReader.  The layout is unchanged:
+#   u16 version | u16 cipher | 48B master | u32 created | u32 issued |
+#   u16 domain_len | domain
+_STATE_FIXED_LEN = 2 + 2 + 48 + 4 + 4 + 2  # everything before the domain
+
+
 def _encode_state(session: SessionState, issued_at: float) -> bytes:
-    writer = ByteWriter()
-    writer.u16(session.version)
-    writer.u16(session.cipher_suite.code)
-    writer.raw(session.master_secret)
-    writer.u32(int(session.created_at))
-    writer.u32(int(issued_at))
-    writer.vec16(session.domain.encode("ascii"))
-    return writer.getvalue()
+    domain = session.domain.encode("ascii")
+    return b"".join(
+        (
+            int(session.version).to_bytes(2, "big"),
+            session.cipher_suite.code.to_bytes(2, "big"),
+            session.master_secret,
+            int(session.created_at).to_bytes(4, "big"),
+            int(issued_at).to_bytes(4, "big"),
+            len(domain).to_bytes(2, "big"),
+            domain,
+        )
+    )
 
 
 def _decode_state(plaintext: bytes) -> TicketContents:
-    reader = ByteReader(plaintext)
-    version = ProtocolVersion(reader.u16())
-    code = reader.u16()
+    if len(plaintext) < _STATE_FIXED_LEN:
+        raise DecodeError("ticket state truncated")
+    version = ProtocolVersion(int.from_bytes(plaintext[0:2], "big"))
+    code = int.from_bytes(plaintext[2:4], "big")
     suite = SUITES_BY_CODE.get(code)
     if suite is None:
         raise DecodeError(f"ticket references unknown cipher {code:#06x}")
-    master = reader.raw(48)
-    created_at = float(reader.u32())
-    issued_at = float(reader.u32())
-    domain = reader.vec16().decode("ascii")
-    reader.expect_end()
+    domain_len = int.from_bytes(plaintext[60:62], "big")
+    if len(plaintext) != _STATE_FIXED_LEN + domain_len:
+        raise DecodeError("ticket state has wrong length")
     session = SessionState(
-        master_secret=master,
+        master_secret=plaintext[4:52],
         cipher_suite=suite,
         version=version,
-        created_at=created_at,
-        domain=domain,
+        created_at=float(int.from_bytes(plaintext[52:56], "big")),
+        domain=plaintext[62:].decode("ascii"),
     )
+    issued_at = float(int.from_bytes(plaintext[56:60], "big"))
     return TicketContents(session=session, issued_at=issued_at)
 
 
@@ -147,15 +159,11 @@ def seal_ticket(
         issued_at = session.created_at
     iv = rng.random_bytes(16)
     encrypted = cbc_encrypt(stek.aes_key, iv, _encode_state(session, issued_at))
-    writer = ByteWriter()
-    if ticket_format is TicketFormat.SCHANNEL:
-        writer.raw(_SCHANNEL_HEADER)
-    writer.raw(stek.key_name)
-    writer.raw(iv)
-    writer.vec16(encrypted)
     mac = hmac_sha256(stek.hmac_key, stek.key_name + iv + encrypted)
-    writer.raw(mac)
-    return writer.getvalue()
+    header = _SCHANNEL_HEADER if ticket_format is TicketFormat.SCHANNEL else b""
+    return b"".join(
+        (header, stek.key_name, iv, len(encrypted).to_bytes(2, "big"), encrypted, mac)
+    )
 
 
 def extract_key_name(ticket: bytes, ticket_format: TicketFormat) -> bytes:
@@ -203,20 +211,25 @@ def open_ticket(
     state — the same checks a careful server performs, and the same
     operation an attacker performs with a *stolen* STEK.
     """
-    try:
-        reader = ByteReader(ticket)
-        if ticket_format is TicketFormat.SCHANNEL:
-            if reader.raw(len(_SCHANNEL_HEADER)) != _SCHANNEL_HEADER:
-                return None
-        key_name = reader.raw(_KEY_NAME_LENGTH[ticket_format])
-        if key_name != stek.key_name:
+    offset = 0
+    if ticket_format is TicketFormat.SCHANNEL:
+        if not ticket.startswith(_SCHANNEL_HEADER):
             return None
-        iv = reader.raw(16)
-        encrypted = reader.vec16()
-        mac = reader.raw(32)
-        reader.expect_end()
-    except DecodeError:
+        offset = len(_SCHANNEL_HEADER)
+    name_len = _KEY_NAME_LENGTH[ticket_format]
+    iv_end = offset + name_len + 16
+    if len(ticket) < iv_end + 2 + 32:
         return None
+    key_name = ticket[offset : offset + name_len]
+    if key_name != stek.key_name:
+        return None
+    iv = ticket[offset + name_len : iv_end]
+    enc_len = int.from_bytes(ticket[iv_end : iv_end + 2], "big")
+    enc_end = iv_end + 2 + enc_len
+    if len(ticket) != enc_end + 32:  # exactly the MAC must remain
+        return None
+    encrypted = ticket[iv_end + 2 : enc_end]
+    mac = ticket[enc_end:]
     expected = hmac_sha256(stek.hmac_key, key_name + iv + encrypted)
     if not constant_time_equal(mac, expected):
         return None

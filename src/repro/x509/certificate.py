@@ -15,6 +15,7 @@ measurement logic consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Sequence
 
 from ..crypto.mac import sha256
@@ -35,8 +36,14 @@ class CertificateData:
     not_after: float
     public_key: RSAPublicKey
 
-    def tbs_bytes(self) -> bytes:
-        """Serialize the signed portion."""
+    # cached_property works on a frozen dataclass (it writes straight
+    # into the instance __dict__, bypassing the frozen __setattr__) and
+    # is safe here because every field is immutable.  Servers present
+    # the same certificate on every full handshake, so the TBS and DER
+    # encodings are one-time costs per certificate rather than per
+    # handshake.
+    @cached_property
+    def _tbs(self) -> bytes:
         writer = ByteWriter()
         writer.raw(_MAGIC)
         names = ByteWriter()
@@ -47,10 +54,13 @@ class CertificateData:
         writer.u32(self.serial)
         writer.u32(int(self.not_before))
         writer.u32(int(self.not_after))
-        n_bytes = self.public_key.n.to_bytes((self.public_key.n.bit_length() + 7) // 8, "big")
-        writer.vec16(n_bytes)
+        writer.vec16(self.public_key.n.to_bytes(self.public_key.byte_length, "big"))
         writer.u32(self.public_key.e)
         return writer.getvalue()
+
+    def tbs_bytes(self) -> bytes:
+        """Serialize the signed portion (computed once per certificate)."""
+        return self._tbs
 
 
 @dataclass(frozen=True)
@@ -72,10 +82,14 @@ class X509Certificate:
     def public_key(self) -> RSAPublicKey:
         return self.data.public_key
 
-    def serialize(self) -> bytes:
+    @cached_property
+    def _serialized(self) -> bytes:
         tbs = self.data.tbs_bytes()
         sig_bytes = self.signature.to_bytes((self.signature.bit_length() + 7) // 8 or 1, "big")
         return ByteWriter().vec16(tbs).vec16(sig_bytes).getvalue()
+
+    def serialize(self) -> bytes:
+        return self._serialized
 
     @classmethod
     def parse(cls, blob: bytes) -> "X509Certificate":
@@ -107,9 +121,13 @@ class X509Certificate:
         )
         return cls(data=data, signature=int.from_bytes(sig_bytes, "big"))
 
+    @cached_property
+    def _fingerprint(self) -> bytes:
+        return sha256(self.serialize())
+
     def fingerprint(self) -> bytes:
         """SHA-256 fingerprint of the serialized certificate."""
-        return sha256(self.serialize())
+        return self._fingerprint
 
     def matches_hostname(self, hostname: str) -> bool:
         """RFC 6125-style name matching with single-label wildcards."""
@@ -179,6 +197,16 @@ class ValidationResult:
 class TrustStore:
     """An NSS-like root store: trusted CA names and their public keys."""
 
+    # Signature checks memoized across all stores: an RSA verify is a
+    # modular exponentiation, and a scanner validates the *same* leaf
+    # certificate against the same root on every full handshake with a
+    # domain.  Keyed by (root key, certificate) value — both frozen
+    # dataclasses — so a different root or a tampered certificate can
+    # never alias a cached verdict.  Validity-window and hostname
+    # checks stay uncached (they depend on per-call time/name).
+    _SIG_MEMO: dict[tuple, bool] = {}
+    _SIG_MEMO_MAX = 65536
+
     def __init__(self) -> None:
         self._roots: dict[str, RSAPublicKey] = {}
 
@@ -201,7 +229,14 @@ class TrustStore:
         root = self._roots.get(certificate.issuer)
         if root is None:
             return ValidationResult(False, f"untrusted issuer {certificate.issuer!r}")
-        if not root.verify(certificate.data.tbs_bytes(), certificate.signature):
+        memo_key = (root, certificate)
+        signature_ok = self._SIG_MEMO.get(memo_key)
+        if signature_ok is None:
+            signature_ok = root.verify(certificate.data.tbs_bytes(), certificate.signature)
+            if len(self._SIG_MEMO) >= self._SIG_MEMO_MAX:
+                self._SIG_MEMO.clear()
+            self._SIG_MEMO[memo_key] = signature_ok
+        if not signature_ok:
             return ValidationResult(False, "bad signature")
         if not certificate.valid_at(now):
             return ValidationResult(False, "certificate expired or not yet valid")

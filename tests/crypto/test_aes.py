@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.aes import AES, BLOCK_SIZE, aes_for_key
+from repro.crypto import aes as aes_module
 from repro.crypto.rng import DeterministicRandom
 
 FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
@@ -77,3 +78,68 @@ def test_avalanche_one_bit_flip():
     other = cipher.encrypt_block(flipped_input)
     differing_bits = sum(bin(a ^ b).count("1") for a, b in zip(base, other))
     assert differing_bits > 30  # ~64 expected for a good block cipher
+
+
+# FIPS 197 appendix C vectors driven through the *decrypt* direction —
+# the inverse cipher has its own T-tables and key schedule, so the
+# encrypt vectors alone don't cover it.
+@pytest.mark.parametrize(
+    "key_hex, ciphertext_hex",
+    [
+        ("000102030405060708090a0b0c0d0e0f",
+         "69c4e0d86a7b0430d8cdb78070b4c55a"),
+        ("000102030405060708090a0b0c0d0e0f1011121314151617",
+         "dda97ca4864cdfe06eaf70a0ec0d7191"),
+        ("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+         "8ea2b7ca516745bfeafc49904b496089"),
+    ],
+    ids=["aes128", "aes192", "aes256"],
+)
+def test_fips197_decrypt_direction(key_hex, ciphertext_hex):
+    key = bytes.fromhex(key_hex)
+    ciphertext = bytes.fromhex(ciphertext_hex)
+    assert AES(key).decrypt_block(ciphertext) == FIPS_PLAINTEXT
+
+
+def test_int_block_api_matches_bytes_api():
+    rng = DeterministicRandom(42)
+    cipher = AES(rng.random_bytes(16))
+    for _ in range(10):
+        block = rng.random_bytes(BLOCK_SIZE)
+        as_int = int.from_bytes(block, "big")
+        assert cipher.encrypt_int(as_int).to_bytes(BLOCK_SIZE, "big") == \
+            cipher.encrypt_block(block)
+        assert cipher.decrypt_int(as_int).to_bytes(BLOCK_SIZE, "big") == \
+            cipher.decrypt_block(block)
+
+
+def test_aes_for_key_returns_same_instance():
+    key = bytes(range(16))
+    assert aes_for_key(key) is aes_for_key(key)
+
+
+def test_aes_for_key_distinct_keys_distinct_ciphers():
+    a = aes_for_key(bytes(16))
+    b = aes_for_key(b"\x01" * 16)
+    assert a is not b
+    assert a.encrypt_block(FIPS_PLAINTEXT) != b.encrypt_block(FIPS_PLAINTEXT)
+
+
+def test_aes_for_key_matches_direct_construction():
+    rng = DeterministicRandom(99)
+    for key_len in (16, 24, 32):
+        key = rng.random_bytes(key_len)
+        block = rng.random_bytes(BLOCK_SIZE)
+        assert aes_for_key(key).encrypt_block(block) == AES(key).encrypt_block(block)
+
+
+def test_aes_for_key_cache_eviction_preserves_correctness():
+    rng = DeterministicRandom(7)
+    key = rng.random_bytes(16)
+    block = rng.random_bytes(BLOCK_SIZE)
+    expected = aes_for_key(key).encrypt_block(block)
+    # Flood the LRU past its bound so `key` is evicted, then re-fetch.
+    for i in range(aes_module._INSTANCE_CACHE_MAX + 8):
+        aes_for_key(i.to_bytes(16, "big"))
+    assert len(aes_module._INSTANCE_CACHE) <= aes_module._INSTANCE_CACHE_MAX
+    assert aes_for_key(key).encrypt_block(block) == expected

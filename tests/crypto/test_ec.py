@@ -153,6 +153,73 @@ def test_tiny_curve_exhaustive_group_order():
         assert ec.scalar_mult(curve, curve.n, point) is None
 
 
+# --- windowed-NAF scalar_mult edge cases -------------------------------
+
+def _double_and_add(curve, k, point):
+    """Reference scalar multiplication for cross-checking wNAF."""
+    k %= curve.n
+    result = None
+    addend = point
+    while k:
+        if k & 1:
+            result = ec.point_add(curve, result, addend)
+        addend = ec.point_add(curve, addend, addend)
+        k >>= 1
+    return result
+
+
+@pytest.mark.parametrize("curve", [ec.SECP128R1, ec.P256, ec.TINY], ids=lambda c: c.name)
+def test_wnaf_matches_double_and_add(curve):
+    rng = DeterministicRandom(314)
+    g = ec.base_point(curve)
+    point = ec.scalar_mult(curve, rng.randrange(1, curve.n), g)
+    for _ in range(8):
+        k = rng.randrange(1, curve.n)
+        assert ec.scalar_mult(curve, k, point) == _double_and_add(curve, k, point)
+
+
+@pytest.mark.parametrize("curve", [ec.SECP128R1, ec.P256, ec.TINY], ids=lambda c: c.name)
+def test_scalar_n_minus_one_is_negation(curve):
+    g = ec.base_point(curve)
+    assert ec.scalar_mult(curve, curve.n - 1, g) == ec.point_neg(curve, g)
+
+
+@pytest.mark.parametrize("curve", [ec.SECP128R1, ec.TINY], ids=lambda c: c.name)
+def test_scalar_at_least_n_reduces_mod_n(curve):
+    g = ec.base_point(curve)
+    assert ec.scalar_mult(curve, curve.n, g) is None
+    assert ec.scalar_mult(curve, curve.n + 1, g) == g
+    assert ec.scalar_mult(curve, 2 * curve.n + 5, g) == ec.scalar_mult(curve, 5, g)
+
+
+def test_wnaf_small_scalars_exhaustive():
+    """Every small scalar on the tiny curve, against repeated addition."""
+    curve = ec.TINY
+    g = ec.base_point(curve)
+    acc = None
+    for k in range(1, 130):  # crosses several window widths
+        acc = ec.point_add(curve, acc, g)
+        assert ec.scalar_mult(curve, k, g) == acc
+
+
+def test_wnaf_digit_expansion_reconstructs_scalar():
+    rng = DeterministicRandom(2021)
+    for _ in range(25):
+        k = rng.randrange(1, 1 << 256)
+        digits = ec._wnaf_digits(k, ec._WNAF_WIDTH)
+        assert sum(d << i for i, d in enumerate(digits)) == k
+        half = 1 << (ec._WNAF_WIDTH - 1)
+        for digit in digits:
+            assert digit == 0 or (digit % 2 == 1 and -half < digit < half)
+
+
+def test_coordinate_bytes_precomputed():
+    for curve in ALL_CURVES:
+        assert curve.coordinate_bytes == (curve.p.bit_length() + 7) // 8
+    assert ec.P256.a_is_minus_3
+    assert not ec.TINY.a_is_minus_3
+
+
 def test_shared_secret_memo_consistency():
     """Memoized shared secrets must equal fresh computations."""
     rng = DeterministicRandom(9)

@@ -143,3 +143,31 @@ def test_ctr_counter_wraps_across_blocks():
 def test_ctr_rejects_bad_nonce():
     with pytest.raises(ValueError):
         ctr_keystream(KEY, b"short", 16)
+
+
+def test_cbc_boundary_lengths_across_interleaved_keys():
+    """Round-trips at padding boundaries while alternating keys.
+
+    Exercises the key-schedule LRU under interleaved access: a cached
+    AES instance must never leak state between keys or calls.
+    """
+    rng = DeterministicRandom(11)
+    keys = [rng.random_bytes(16) for _ in range(4)]
+    for n in (0, 15, 16, 17):
+        data = rng.random_bytes(n)
+        sealed = [cbc_encrypt(key, IV, data) for key in keys]
+        assert len(set(sealed)) == len(keys)  # distinct keys, distinct bytes
+        for key, ciphertext in zip(keys, sealed):
+            assert cbc_decrypt(key, IV, ciphertext) == data
+
+
+def test_cbc_repeat_encrypt_is_stable_under_caching():
+    """The instance cache must not make encryption stateful."""
+    data = b"ticket state " * 7
+    first = cbc_encrypt(KEY, IV, data)
+    for _ in range(5):
+        assert cbc_encrypt(KEY, IV, data) == first
+
+
+def test_ctr_xor_empty_message():
+    assert ctr_xor(KEY, bytes(16), b"") == b""

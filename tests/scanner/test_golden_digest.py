@@ -1,0 +1,37 @@
+"""Golden-digest regression pin for the reference study corpus.
+
+The crypto/handshake layer is aggressively cached (key schedules,
+signed-params encodings, certificate serializations, wNAF scalar
+multiplication — see DESIGN.md on cache safety).  None of those
+optimizations may change a single byte of study output: the digest of
+the small reference study's saved dataset is pinned here, so any
+change to RNG draw order, wire encodings, or record serialization
+fails this test instead of silently altering results.
+
+If this test fails, the change is output-affecting by definition.
+Either it is a bug, or it is an intentional semantic change — in which
+case re-pin the digest and say so prominently in the changelog.
+"""
+
+import hashlib
+import os
+
+from repro.scanner import save_dataset
+
+GOLDEN_DIGEST = "58de44c10add5b4a81b9b2b8d7a02e25a1576c7cbe4d267596bdf9ca39cf22e7"
+
+
+def _dataset_digest(directory) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(directory)):
+        digest.update(name.encode())
+        with open(os.path.join(directory, name), "rb") as fh:
+            digest.update(fh.read())
+    return digest.hexdigest()
+
+
+def test_small_study_dataset_digest_is_pinned(small_study, tmp_path):
+    _, dataset = small_study
+    out = tmp_path / "golden"
+    save_dataset(dataset, str(out))
+    assert _dataset_digest(out) == GOLDEN_DIGEST
