@@ -203,7 +203,9 @@ def run_micro(seconds: float) -> dict:
 def run_e2e(quick: bool) -> dict:
     """Run the reference mini-study through the engine; report grabs/sec."""
     from .hosting import EcosystemConfig, build_ecosystem
+    from .obs.metrics import METRICS, cache_stats
     from .scanner import StudyConfig, run_study_with_stats
+    from .scanner.engine import StudyEngine
 
     population = 320
     days = 2 if quick else 4
@@ -219,7 +221,16 @@ def run_e2e(quick: bool) -> dict:
         ticket_probe_day=1,
     )
     ecosystem = build_ecosystem(EcosystemConfig(population=population, seed=2016))
+    metrics_base = METRICS.snapshot()
     _, stats = run_study_with_stats(ecosystem, config)
+    # Cache-effectiveness counters for *this* study run (the PR-2 caches
+    # the pipeline's throughput depends on), from the metrics delta.
+    delta = METRICS.snapshot_delta(metrics_base)
+    caches = {}
+    for family in StudyEngine.CACHE_FAMILIES:
+        summary = cache_stats(delta, family)
+        if summary is not None:
+            caches[family] = summary
     return {
         "reference_study": {
             "population": population,
@@ -227,7 +238,8 @@ def run_e2e(quick: bool) -> dict:
             "grabs": stats.grabs,
             "seconds": round(stats.elapsed_seconds, 3),
             "grabs_per_sec": round(stats.grabs_per_sec, 2),
-        }
+        },
+        "caches": caches,
     }
 
 
@@ -293,10 +305,24 @@ def render(report: dict) -> str:
     for name, stats in report["micro"].items():
         lines.append(f"  {name:<{width}}  {stats['ops_per_sec']:>12,.1f} ops/s")
     for name, stats in report["e2e"].items():
+        if name == "caches":
+            continue
         lines.append(
             f"  {name:<{width}}  {stats['grabs_per_sec']:>12,.1f} grabs/s "
             f"({stats['grabs']:,} grabs in {stats['seconds']}s)"
         )
+    caches = report["e2e"].get("caches", {})
+    if caches:
+        lines.append("  cache effectiveness (reference study):")
+        cache_width = max(len(name) for name in caches)
+        for name, stats in caches.items():
+            line = (
+                f"    {name:<{cache_width}}  {stats['hit_rate'] * 100:6.2f}% hits "
+                f"({stats['hits']:,} hit / {stats['misses']:,} miss"
+            )
+            if stats.get("evictions"):
+                line += f" / {stats['evictions']:,} evicted"
+            lines.append(line + ")")
     for name, ratio in report.get("speedup", {}).items():
         lines.append(f"  speedup {name}: {ratio}x vs {report['baseline']['label']}")
     return "\n".join(lines)

@@ -11,6 +11,9 @@ Subcommands mirror the library's workflow:
   produced.
 * ``report DIR``    — regenerate the paper's tables from a saved
   dataset.
+* ``stats DIR``     — render the telemetry a study wrote with
+  ``--telemetry-dir`` (run manifest, metrics, cache effectiveness);
+  ``--prometheus`` emits the text exposition instead.
 * ``audit DIR``     — vulnerability windows + §8.2 mitigation
   counterfactuals from a saved dataset.
 * ``target DOMAIN`` — the §7.2 nation-state target analysis.
@@ -29,6 +32,8 @@ Example::
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from typing import Optional
 
@@ -44,12 +49,70 @@ from .scanner import (
     save_dataset,
 )
 
+log = logging.getLogger("repro")
+
 
 def _add_ecosystem_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--population", type=int, default=450,
                         help="ranked-list size (default 450)")
     parser.add_argument("--seed", type=int, default=2016,
                         help="deterministic ecosystem seed (default 2016)")
+
+
+def _configure_logging(args) -> int:
+    """Set up the ``repro`` logger from -v/-q; returns the verbosity.
+
+    Results always go to stdout via ``print``; the logger carries
+    *progress and diagnostics* to stderr.  Default verbosity 0 keeps
+    the historical output (transient ``\\r`` progress on stderr), -q
+    silences progress, -v switches to full per-event log lines.
+    """
+    verbosity = getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
+    level = (
+        logging.WARNING if verbosity < 0
+        else logging.INFO if verbosity == 0
+        else logging.DEBUG
+    )
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    log.handlers[:] = [handler]
+    log.setLevel(level)
+    log.propagate = False
+    return verbosity
+
+
+class _ProgressReporter:
+    """Scan-progress display honoring the -v/-q verbosity.
+
+    * verbosity < 0 (-q): nothing.
+    * verbosity = 0: the historical transient ``\\r`` line on stderr.
+    * verbosity > 0 (-v): one DEBUG log line per event (CI-friendly;
+      no carriage returns).
+    """
+
+    def __init__(self, verbosity: int) -> None:
+        self.verbosity = verbosity
+
+    def _emit(self, text: str) -> None:
+        if self.verbosity < 0:
+            return
+        if self.verbosity > 0:
+            log.debug(text.strip())
+        else:
+            print(f"\r{text}", end="", flush=True, file=sys.stderr)
+
+    def day(self, day: int, days: int) -> None:
+        self._emit(f"scanning day {day + 1}/{days}")
+
+    def shard(self, shard_id: int, shards: int, day: int, days: int) -> None:
+        if day >= days:
+            self._emit(f"shard {shard_id + 1}/{shards} done        ")
+        else:
+            self._emit(f"shard {shard_id + 1}/{shards}: day {day + 1}/{days}")
+
+    def close(self) -> None:
+        if self.verbosity == 0:
+            print(file=sys.stderr)
 
 
 def _build(args) -> "object":
@@ -88,6 +151,13 @@ def _scaled_day(paper_day: int, days: int) -> int:
 
 
 def cmd_study(args) -> int:
+    if args.telemetry_dir and (
+        os.path.abspath(args.telemetry_dir) == os.path.abspath(args.out)
+    ):
+        print("--telemetry-dir must not be the dataset --out directory "
+              "(telemetry lives next to the dataset, not inside it)",
+              file=sys.stderr)
+        return 2
     ecosystem = _build(args)
     config = StudyConfig(
         days=args.days,
@@ -102,26 +172,24 @@ def cmd_study(args) -> int:
         workers=args.workers,
         stream_dir=args.stream_dir,
     )
-
-    def progress(day: int, days: int) -> None:
-        print(f"\rscanning day {day + 1}/{days}", end="", flush=True, file=sys.stderr)
-
-    def shard_progress(shard_id: int, shards: int, day: int, days: int) -> None:
-        if day >= days:
-            print(f"\rshard {shard_id + 1}/{shards} done        ",
-                  end="", flush=True, file=sys.stderr)
-        else:
-            print(f"\rshard {shard_id + 1}/{shards}: day {day + 1}/{days}",
-                  end="", flush=True, file=sys.stderr)
+    reporter = _ProgressReporter(args.verbosity)
 
     dataset, stats = run_study_with_stats(
-        ecosystem, config, progress=progress, shard_progress=shard_progress,
+        ecosystem, config,
+        progress=reporter.day,
+        shard_progress=reporter.shard,
+        telemetry_dir=args.telemetry_dir,
     )
-    print(file=sys.stderr)
+    reporter.close()
     save_dataset(dataset, args.out)
     print(f"dataset saved to {args.out} "
           f"({len(dataset.ticket_daily):,} daily ticket observations)")
     print(stats.render())
+    if args.telemetry_dir:
+        log.info(
+            "telemetry written to %s (inspect with `repro stats %s`)",
+            args.telemetry_dir, args.telemetry_dir,
+        )
     return 0
 
 
@@ -228,6 +296,36 @@ def cmd_bench(args) -> int:
     return bench_main(forwarded)
 
 
+def cmd_stats(args) -> int:
+    from .obs import (
+        load_manifest,
+        load_metrics,
+        render_prometheus,
+        render_stats_report,
+        validate_manifest,
+    )
+
+    try:
+        manifest = load_manifest(args.telemetry)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load manifest from {args.telemetry}: {exc}",
+              file=sys.stderr)
+        return 1
+    directory = (
+        args.telemetry if os.path.isdir(args.telemetry)
+        else os.path.dirname(args.telemetry) or "."
+    )
+    errors = validate_manifest(manifest)
+    for error in errors:
+        print(f"manifest: {error}", file=sys.stderr)
+    metrics = load_metrics(directory)
+    if args.prometheus:
+        print(render_prometheus(metrics), end="")
+    else:
+        print(render_stats_report(manifest, metrics))
+    return 1 if errors else 0
+
+
 def cmd_target(args) -> int:
     from .nationstate import analyze_target, render_report
 
@@ -244,7 +342,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="TLS crypto-shortcut measurement toolchain (IMC 2016 reproduction)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    # -v/-q live on the subcommands (argparse clobbers same-dest options
+    # shared between the main parser and subparsers), via a parent.
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity.add_argument("-v", "--verbose", action="count", default=0,
+                           help="log per-event progress lines to stderr")
+    verbosity.add_argument("-q", "--quiet", action="count", default=0,
+                           help="suppress progress output")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    class _Sub:
+        """Adds every subcommand with the shared verbosity options."""
+
+        @staticmethod
+        def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+            return subparsers.add_parser(name, parents=[verbosity], **kwargs)
+
+    sub = _Sub()
 
     scan = sub.add_parser("scan", help="one zgrab-style TLS connection")
     scan.add_argument("domain")
@@ -264,8 +378,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream observations to JSONL in this directory "
                             "as they are produced instead of holding them "
                             "in memory (may equal --out)")
+    study.add_argument("--telemetry-dir", default=None,
+                       help="write a run manifest, merged metrics, and trace "
+                            "spans here (must NOT be the dataset directory; "
+                            "inspect with `repro stats`)")
     _add_ecosystem_arguments(study)
     study.set_defaults(func=cmd_study)
+
+    stats = sub.add_parser(
+        "stats", help="render a telemetry directory written by `repro study`"
+    )
+    stats.add_argument("telemetry",
+                       help="telemetry directory (or manifest.json path)")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="emit the Prometheus text exposition instead of "
+                            "the human-readable report")
+    stats.set_defaults(func=cmd_stats)
 
     report = sub.add_parser("report", help="render tables from a dataset")
     report.add_argument("dataset", help="directory written by `repro study`")
@@ -298,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.verbosity = _configure_logging(args)
     return args.func(args)
 
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from ..obs.metrics import METRICS, register_process_cache
+
 BLOCK_SIZE = 16
 
 _SBOX = [0] * 256
@@ -245,6 +247,10 @@ class AES:
 _INSTANCE_CACHE: "OrderedDict[bytes, AES]" = OrderedDict()
 _INSTANCE_CACHE_MAX = 256
 
+_CACHE_HIT = METRICS.counter("crypto.aes.key_cache.hit")
+_CACHE_MISS = METRICS.counter("crypto.aes.key_cache.miss")
+_CACHE_EVICTION = METRICS.counter("crypto.aes.key_cache.eviction")
+
 
 def aes_for_key(key: bytes) -> AES:
     """Return a cached :class:`AES` for ``key``, expanding it at most once.
@@ -255,13 +261,18 @@ def aes_for_key(key: bytes) -> AES:
     """
     cipher = _INSTANCE_CACHE.get(key)
     if cipher is None:
+        _CACHE_MISS.value += 1
         cipher = AES(key)
         _INSTANCE_CACHE[key] = cipher
         if len(_INSTANCE_CACHE) > _INSTANCE_CACHE_MAX:
+            _CACHE_EVICTION.value += 1
             _INSTANCE_CACHE.popitem(last=False)
     else:
+        _CACHE_HIT.value += 1
         _INSTANCE_CACHE.move_to_end(key)
     return cipher
 
+
+register_process_cache(_INSTANCE_CACHE.clear)
 
 __all__ = ["AES", "BLOCK_SIZE", "aes_for_key"]

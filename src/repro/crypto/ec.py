@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from ..obs.metrics import METRICS, register_process_cache
 from .rng import DeterministicRandom
 
 
@@ -124,6 +125,10 @@ class NotOnCurveError(ValueError):
 
 # Shared-secret memo: (curve name, private scalar, peer point) -> point.
 _shared_secret_memo: dict = {}
+register_process_cache(_shared_secret_memo.clear)
+
+_MEMO_HIT = METRICS.counter("crypto.ec.shared_memo.hit")
+_MEMO_MISS = METRICS.counter("crypto.ec.shared_memo.miss")
 
 
 Point = Optional[Tuple[int, int]]  # None is the point at infinity
@@ -347,7 +352,9 @@ class ECKeyPair:
         memo_key = (self.curve.name, self.private, peer_public)
         cached = _shared_secret_memo.get(memo_key)
         if cached is not None:
+            _MEMO_HIT.value += 1
             return cached
+        _MEMO_MISS.value += 1
         if not is_on_curve(self.curve, peer_public):
             raise NotOnCurveError("peer public point not on curve")
         result = scalar_mult(self.curve, self.private, peer_public)

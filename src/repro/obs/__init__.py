@@ -1,0 +1,76 @@
+"""Dependency-free telemetry for the measurement pipeline.
+
+Three cooperating layers (see DESIGN.md §8):
+
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
+  with deterministic cross-process snapshot merging;
+* :mod:`repro.obs.trace` — opt-in span tracing with a ring-buffer sink
+  and JSONL export;
+* :mod:`repro.obs.manifest` / :mod:`repro.obs.report` — run manifests
+  (provenance + timing + cache effectiveness) and their human /
+  Prometheus renderings.
+
+The invariant every instrument obeys: telemetry is **output-neutral**.
+Nothing in this package (or any call into it) may touch a seeded RNG
+or alter record content — study bytes are identical with telemetry on
+or off.
+"""
+
+from . import trace
+from .manifest import (
+    MANIFEST_NAME,
+    METRICS_NAME,
+    PROMETHEUS_NAME,
+    SCHEMA,
+    TRACE_NAME,
+    build_manifest,
+    config_dict,
+    git_describe,
+    load_manifest,
+    load_metrics,
+    validate_manifest,
+    write_manifest,
+    write_metrics,
+)
+from .metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    cache_stats,
+    merge_snapshots,
+    parse_key,
+    register_process_cache,
+    reset_process_caches,
+)
+from .report import render_prometheus, render_stats_report
+
+__all__ = [
+    "trace",
+    "METRICS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "merge_snapshots",
+    "cache_stats",
+    "parse_key",
+    "register_process_cache",
+    "reset_process_caches",
+    "SCHEMA",
+    "MANIFEST_NAME",
+    "METRICS_NAME",
+    "PROMETHEUS_NAME",
+    "TRACE_NAME",
+    "git_describe",
+    "config_dict",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_manifest",
+    "load_metrics",
+    "write_metrics",
+    "render_prometheus",
+    "render_stats_report",
+]

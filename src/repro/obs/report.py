@@ -1,0 +1,175 @@
+"""Rendering telemetry: a human-readable report and a Prometheus
+text-format exposition.
+
+``repro stats <telemetry-dir>`` feeds a manifest (+ the sibling
+metrics snapshot) through :func:`render_stats_report`; automation
+scrapes :func:`render_prometheus` output (also written to
+``metrics.prom`` at study time) — the standard ``# TYPE`` / sample
+line format, with dotted metric names flattened to underscores under
+a ``repro_`` prefix.
+"""
+
+from __future__ import annotations
+
+from .metrics import parse_key
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{str(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition of a metrics snapshot."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit_type(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = parse_key(key)
+        prom = _prom_name(name) + "_total"
+        emit_type(prom, "counter")
+        lines.append(f"{prom}{_prom_labels(labels)} {value}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = parse_key(key)
+        prom = _prom_name(name)
+        emit_type(prom, "gauge")
+        lines.append(f"{prom}{_prom_labels(labels)} {value}")
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = parse_key(key)
+        prom = _prom_name(name)
+        emit_type(prom, "histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f"{prom}_bucket{_prom_labels({**labels, 'le': bound})} {cumulative}"
+            )
+        cumulative += hist["counts"][-1]
+        lines.append(
+            f"{prom}_bucket{_prom_labels({**labels, 'le': '+Inf'})} {cumulative}"
+        )
+        lines.append(f"{prom}_sum{_prom_labels(labels)} {round(hist['sum'], 6)}")
+        lines.append(f"{prom}_count{_prom_labels(labels)} {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_quantile(hist: dict, q: float) -> float:
+    """Crude bucket-upper-bound quantile (good enough for a report)."""
+    target = q * hist["count"]
+    cumulative = 0
+    for bound, count in zip(hist["bounds"], hist["counts"]):
+        cumulative += count
+        if cumulative >= target:
+            return bound
+    return float("inf")
+
+
+def render_stats_report(manifest: dict, metrics: dict) -> str:
+    """The ``repro stats`` human-readable view of one run."""
+    lines: list[str] = []
+    run = manifest.get("run", {})
+    git = manifest.get("git", {}).get("describe") or "unknown"
+    lines.append(
+        f"run manifest: {manifest.get('label', '?')} "
+        f"(schema {manifest.get('schema', '?')}, git {git}, "
+        f"python {manifest.get('python', '?')})"
+    )
+    if run:
+        lines.append(
+            f"  {run.get('grabs', 0):,} grabs over {run.get('days', '?')} days — "
+            f"{run.get('shards', '?')} shard(s) × {run.get('workers', '?')} worker(s), "
+            f"{run.get('elapsed_seconds', 0.0):.2f}s "
+            f"({run.get('grabs_per_sec', 0.0):,.1f} grabs/s)"
+        )
+        if run.get("failures"):
+            lines.append(f"  {run['failures']:,} failed grabs")
+
+    shards = manifest.get("shards", [])
+    if shards:
+        lines.append("")
+        lines.append("per-shard timing:")
+        for entry in shards:
+            day_seconds = entry.get("day_seconds", [])
+            days = " ".join(f"{s:.2f}" for s in day_seconds)
+            lines.append(
+                f"  shard {entry.get('shard_id', '?'):>2}: "
+                f"{entry.get('elapsed_seconds', 0.0):7.2f}s  "
+                f"{entry.get('grabs', 0):>8,} grabs"
+                + (f"  [per-day: {days}]" if day_seconds else "")
+            )
+
+    experiments = manifest.get("experiments", {})
+    if experiments:
+        lines.append("")
+        lines.append("per-experiment grabs:")
+        width = max(len(name) for name in experiments)
+        for name, count in experiments.items():
+            lines.append(f"  {name:<{width}}  {count:>10,}")
+
+    channels = manifest.get("channels", {})
+    if channels:
+        lines.append("")
+        lines.append("records by channel:")
+        width = max(len(name) for name in channels)
+        for name, count in channels.items():
+            if count:
+                lines.append(f"  {name:<{width}}  {count:>10,}")
+
+    caches = manifest.get("caches", {})
+    if caches:
+        lines.append("")
+        lines.append("cache effectiveness:")
+        width = max(len(name) for name in caches)
+        for name, stats in caches.items():
+            line = (
+                f"  {name:<{width}}  {stats.get('hit_rate', 0.0) * 100:6.2f}% hits "
+                f"({stats.get('hits', 0):,} hit / {stats.get('misses', 0):,} miss"
+            )
+            if stats.get("evictions"):
+                line += f" / {stats['evictions']:,} evicted"
+            lines.append(line + ")")
+
+    counters = metrics.get("counters", {})
+    interesting = [
+        key for key in counters
+        if not any(key.startswith(p) for p in ("crypto.", "x509."))
+    ]
+    if interesting:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(key) for key in interesting)
+        for key in interesting:
+            lines.append(f"  {key:<{width}}  {counters[key]:>12,}")
+
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("timings:")
+        width = max(len(key) for key in histograms)
+        for key, hist in histograms.items():
+            if not hist.get("count"):
+                continue
+            mean = hist["sum"] / hist["count"]
+            p95 = _histogram_quantile(hist, 0.95)
+            p95_text = f"{p95:.4f}" if p95 != float("inf") else ">max"
+            lines.append(
+                f"  {key:<{width}}  n={hist['count']:<9,} "
+                f"mean={mean:.4f}s p95<={p95_text}s"
+            )
+    return "\n".join(lines)
+
+
+__all__ = ["render_prometheus", "render_stats_report"]

@@ -1,0 +1,166 @@
+"""Span-based tracing with a bounded ring-buffer sink.
+
+Usage matches the common structured-tracing idiom::
+
+    from repro.obs import trace
+
+    with trace.span("handshake", domain="yahoo.com"):
+        ...
+
+Tracing is **off by default** and costs one flag check per ``span()``
+call when disabled — cheap enough to leave in hot paths like the
+per-connection grab.  Enabling it (the engine does when a telemetry
+directory is requested) records finished spans into a fixed-capacity
+ring buffer: a multi-week study can emit millions of spans, but only
+the most recent ``capacity`` survive, which bounds both memory and the
+pickled payload a shard worker ships back to the engine.
+
+Span timestamps come from ``time.perf_counter`` — a per-process
+monotonic clock.  Durations are always meaningful; absolute start
+times are only comparable *within* one process, which the exported
+records make explicit by carrying the recording process's id.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Iterable, Optional
+
+DEFAULT_CAPACITY = 4096
+
+
+class Span:
+    """One in-flight (then finished) traced operation."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.duration = 0.0
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.duration = time.perf_counter() - self.start
+        self._tracer._record(self)
+
+    def to_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "start_s": round(self.start, 6),
+            "duration_s": round(self.duration, 6),
+            "pid": os.getpid(),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """A ring-buffer span sink, disabled until :meth:`enable` is called."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.enabled = False
+        self._buffer: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self.recorded = 0
+
+    def enable(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity != self._buffer.maxlen:
+            self._buffer = deque(self._buffer, maxlen=capacity)
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def span(self, name: str, **attrs):
+        """A context manager timing one operation (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def _record(self, span: Span) -> None:
+        if len(self._buffer) == self._buffer.maxlen:
+            self.dropped += 1
+        self._buffer.append(span.to_dict())
+        self.recorded += 1
+
+    def drain(self) -> list[dict]:
+        """Remove and return every buffered span record (oldest first)."""
+        records = list(self._buffer)
+        self._buffer.clear()
+        return records
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+def export_jsonl(path: str, records: Iterable[dict]) -> int:
+    """Write span records to a JSONL file; returns the number written."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    written = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+            written += 1
+    return written
+
+
+#: The process-local default tracer (what ``trace.span(...)`` uses).
+TRACER = Tracer()
+
+
+def span(name: str, **attrs):
+    """Module-level shorthand for ``TRACER.span(...)``."""
+    if not TRACER.enabled:
+        return _NULL_SPAN
+    return Span(TRACER, name, attrs)
+
+
+def enable(capacity: Optional[int] = None) -> None:
+    TRACER.enable(capacity)
+
+
+def disable() -> None:
+    TRACER.disable()
+
+
+def drain() -> list[dict]:
+    return TRACER.drain()
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "span",
+    "enable",
+    "disable",
+    "drain",
+    "export_jsonl",
+    "DEFAULT_CAPACITY",
+]

@@ -39,6 +39,15 @@ from typing import Callable, Optional
 from ..crypto.rng import DeterministicRandom
 from ..hosting.ecosystem import Ecosystem
 from ..netsim.clock import DAY
+from ..obs import manifest as obs_manifest
+from ..obs.metrics import (
+    METRICS,
+    cache_stats,
+    merge_snapshots,
+    reset_process_caches,
+)
+from ..obs.report import render_prometheus
+from ..obs.trace import TRACER, export_jsonl
 from .datastore import (
     concatenate_channels,
     open_channel_views,
@@ -109,6 +118,16 @@ class ShardResult:
     stream_subdir: Optional[str]
     meta: dict
     stats: StudyStats
+    #: Metrics delta for *this shard's* activity only (see
+    #: MetricsRegistry.snapshot_delta) — merged in shard order by the
+    #: engine so the totals are worker-count independent.
+    metrics: dict = field(default_factory=dict)
+    #: Wall-clock seconds per study day (len == config.days).
+    day_seconds: list = field(default_factory=list)
+    #: Wall-clock of the whole shard run.
+    elapsed_seconds: float = 0.0
+    #: Trace spans drained from this shard's process (ring-buffer tail).
+    spans: list = field(default_factory=list)
 
 
 class _MemorySink:
@@ -165,6 +184,15 @@ def run_shard(
     :func:`_shard_worker`).
     """
     registry = registry if registry is not None else default_registry(config)
+    # Start every shard from cold value-keyed caches so cache hit/miss
+    # counters are a function of the shard alone, not of which shards
+    # this process happened to run earlier (workers=1 reuses one
+    # process; workers=N does not).  Output-safe: the caches are keyed
+    # by value, so clearing only costs recomputation.
+    reset_process_caches()
+    metrics_base = METRICS.snapshot()
+    shard_started = time.perf_counter()
+    day_seconds: list = []
     rng = DeterministicRandom(config.seed)
     if shard_count > 1:
         rng = rng.fork(f"shard:{shard_id}/{shard_count}")
@@ -186,6 +214,7 @@ def run_shard(
 
     schedules = [(experiment, experiment.schedule(config)) for experiment in registry]
     for day in range(config.days):
+        day_started = time.perf_counter()
         day_start = day * DAY
         if ecosystem.clock.now() < day_start:
             ecosystem.advance_to(day_start)
@@ -211,11 +240,21 @@ def run_shard(
             if day not in scheduled_days:
                 continue
             grabs_before = grabber.grabs
-            experiment.run_day(ctx, day)
+            with TRACER.span(
+                "experiment.day",
+                experiment=experiment.name,
+                day=day,
+                shard=shard_id,
+            ):
+                experiment.run_day(ctx, day)
+            day_grabs = grabber.grabs - grabs_before
             stats.scans_by_experiment[experiment.name] = (
-                stats.scans_by_experiment.get(experiment.name, 0)
-                + grabber.grabs - grabs_before
+                stats.scans_by_experiment.get(experiment.name, 0) + day_grabs
             )
+            METRICS.counter(
+                "experiment.grabs", experiment=experiment.name
+            ).inc(day_grabs)
+        day_seconds.append(round(time.perf_counter() - day_started, 6))
 
     for experiment in registry:
         experiment.finalize(ctx)
@@ -255,6 +294,10 @@ def run_shard(
         stream_subdir=stream_dir,
         meta=ctx.meta,
         stats=stats,
+        metrics=METRICS.snapshot_delta(metrics_base),
+        day_seconds=day_seconds,
+        elapsed_seconds=round(time.perf_counter() - shard_started, 6),
+        spans=TRACER.drain() if TRACER.enabled else [],
     )
 
 
@@ -267,7 +310,9 @@ def _shard_worker(args) -> ShardResult:
     """
     from ..hosting import build_ecosystem
 
-    ecosystem_config, study_config, shard_id, shard_count, stream_dir = args
+    ecosystem_config, study_config, shard_id, shard_count, stream_dir, trace = args
+    if trace:
+        TRACER.enable()
     ecosystem = build_ecosystem(ecosystem_config)
     return run_shard(
         ecosystem,
@@ -299,6 +344,7 @@ class StudyEngine:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         stream_dir: Optional[str] = None,
+        telemetry_dir: Optional[str] = None,
     ):
         """Run the study; returns ``(StudyDataset, StudyStats)``.
 
@@ -306,6 +352,10 @@ class StudyEngine:
         ``workers`` only parallelizes shard execution.  ``stream_dir``
         switches the storage layer to streaming JSONL: records spill to
         disk as produced and the returned dataset holds lazy views.
+        ``telemetry_dir`` enables span tracing and, after the merge,
+        writes a run manifest, merged metrics snapshot, Prometheus
+        exposition, and trace JSONL there.  Telemetry never touches the
+        dataset: pass a directory *outside* ``stream_dir``.
         """
         from .study import StudyDataset  # local import to avoid a cycle
 
@@ -320,6 +370,15 @@ class StudyEngine:
             raise ValueError("shards must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if telemetry_dir is not None:
+            if stream_dir is not None and (
+                os.path.abspath(telemetry_dir) == os.path.abspath(stream_dir)
+            ):
+                raise ValueError(
+                    "telemetry_dir must not be the dataset stream_dir "
+                    "(telemetry lives next to the dataset, not inside it)"
+                )
+            TRACER.enable()
 
         if shards == 1:
             results = [run_shard(
@@ -334,11 +393,17 @@ class StudyEngine:
             )]
         else:
             results = self._run_sharded(
-                ecosystem, shards, workers, stream_dir, shard_progress
+                ecosystem, shards, workers, stream_dir, shard_progress,
+                trace=telemetry_dir is not None,
             )
 
         dataset, stats = self._merge(results, stream_dir, workers)
         stats.elapsed_seconds = time.perf_counter() - run_start
+        if telemetry_dir is not None:
+            try:
+                self._write_telemetry(telemetry_dir, ecosystem, results, stats)
+            finally:
+                TRACER.disable()
         return dataset, stats
 
     # -- sharded execution -------------------------------------------------
@@ -350,8 +415,11 @@ class StudyEngine:
         workers: int,
         stream_dir: Optional[str],
         shard_progress: Optional[ShardProgress],
+        trace: bool = False,
     ) -> list[ShardResult]:
         config = self.config
+        pending = METRICS.gauge("engine.pending_shards")
+        pending.set(shards)
 
         def subdir(shard_id: int) -> Optional[str]:
             if stream_dir is None:
@@ -378,6 +446,7 @@ class StudyEngine:
                     registry=self.registry,
                     progress=day_progress,
                 ))
+                pending.set(shards - shard_id - 1)
             return results
 
         if self.registry is not None:
@@ -387,13 +456,16 @@ class StudyEngine:
                 "default_registry"
             )
         tasks = [
-            (ecosystem.config, config, shard_id, shards, subdir(shard_id))
+            (ecosystem.config, config, shard_id, shards, subdir(shard_id), trace)
             for shard_id in range(shards)
         ]
         results: list[Optional[ShardResult]] = [None] * shards
+        done = 0
         with ProcessPoolExecutor(max_workers=min(workers, shards)) as pool:
             for result in pool.map(_shard_worker, tasks):
                 results[result.shard_id] = result
+                done += 1
+                pending.set(shards - done)
                 if shard_progress is not None:
                     shard_progress(
                         result.shard_id, shards, config.days, config.days
@@ -455,6 +527,99 @@ class StudyEngine:
                     merged.extend(result.channels[name])
                 setattr(dataset, name, merged)
         return dataset, stats
+
+    # -- telemetry ---------------------------------------------------------
+
+    #: Cache metric families summarized in the manifest's ``caches``
+    #: section (each contributes ``<name>.{hit,miss[,eviction]}``).
+    CACHE_FAMILIES = (
+        "crypto.aes.key_cache",
+        "crypto.ec.shared_memo",
+        "tls.kex.params_cache",
+        "x509.sig_memo",
+    )
+
+    def merged_metrics(self, results: list[ShardResult]) -> dict:
+        """Merge per-shard metric deltas in shard order (deterministic)."""
+        ordered = sorted(results, key=lambda r: r.shard_id)
+        merged = merge_snapshots(r.metrics for r in ordered)
+        # Engine-level gauges live in *this* process; overlay their
+        # final readings so the exported snapshot doesn't depend on
+        # which process happened to run which shard.
+        parent = METRICS.snapshot()
+        for key, value in parent["gauges"].items():
+            if key.startswith("engine."):
+                merged["gauges"][key] = value
+        merged["gauges"] = dict(sorted(merged["gauges"].items()))
+        return merged
+
+    def _write_telemetry(
+        self,
+        telemetry_dir: str,
+        ecosystem: Ecosystem,
+        results: list[ShardResult],
+        stats: StudyStats,
+    ) -> None:
+        """Write manifest.json / metrics.json / metrics.prom / trace.jsonl."""
+        config = self.config
+        ordered = sorted(results, key=lambda r: r.shard_id)
+        merged = self.merged_metrics(ordered)
+
+        counters = merged["counters"]
+        failures = sum(
+            value for key, value in counters.items()
+            if key.startswith("scanner.grab.failure")
+        )
+        caches = {}
+        for family in self.CACHE_FAMILIES:
+            summary = cache_stats(merged, family)
+            if summary is not None:
+                caches[family] = summary
+
+        manifest = obs_manifest.build_manifest(
+            study_config=config,
+            ecosystem_config=getattr(ecosystem, "config", None),
+            run={
+                "days": config.days,
+                "shards": stats.shards,
+                "workers": stats.workers,
+                "grabs": stats.grabs,
+                "failures": failures,
+                "elapsed_seconds": round(stats.elapsed_seconds, 3),
+                "grabs_per_sec": round(stats.grabs_per_sec, 1),
+            },
+            shards=[
+                {
+                    "shard_id": result.shard_id,
+                    "elapsed_seconds": result.elapsed_seconds,
+                    "day_seconds": result.day_seconds,
+                    "grabs": result.stats.grabs,
+                }
+                for result in ordered
+            ],
+            experiments=dict(stats.scans_by_experiment),
+            channels={
+                name: count
+                for name, count in stats.records_by_channel.items()
+                if count
+            },
+            caches=caches,
+        )
+        obs_manifest.write_manifest(telemetry_dir, manifest)
+        obs_manifest.write_metrics(telemetry_dir, merged)
+        with open(
+            os.path.join(telemetry_dir, obs_manifest.PROMETHEUS_NAME),
+            "w",
+            encoding="utf-8",
+        ) as fh:
+            fh.write(render_prometheus(merged))
+        spans: list = []
+        for result in ordered:
+            spans.extend(result.spans)
+        spans.extend(TRACER.drain())  # engine-process leftovers, if any
+        export_jsonl(
+            os.path.join(telemetry_dir, obs_manifest.TRACE_NAME), spans
+        )
 
 
 __all__ = [

@@ -10,12 +10,15 @@ scanner has to behave.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from ..crypto.rng import DeterministicRandom
 from ..hosting.ecosystem import Ecosystem
 from ..netsim.dns import NXDomainError
 from ..netsim.network import ConnectTimeout
+from ..obs.metrics import DEFAULT_SECONDS_BUCKETS, METRICS
+from ..obs.trace import TRACER
 from ..tls.ciphers import CipherSuite, MODERN_BROWSER_OFFER
 from ..tls.client import HandshakeResult, TLSClient
 from ..tls.constants import KeyExchangeKind
@@ -29,6 +32,16 @@ _KEX_NAMES = {
     KeyExchangeKind.DHE: "dhe",
     KeyExchangeKind.ECDHE: "ecdhe",
 }
+
+# Prebound instruments: connect() is the hot path (one call per grab),
+# so the dict lookups happen once at import, not per connection.
+_GRAB_TOTAL = METRICS.counter("scanner.grab.attempt")
+_GRAB_NXDOMAIN = METRICS.counter("scanner.grab.failure", reason="nxdomain")
+_GRAB_TIMEOUT = METRICS.counter("scanner.grab.failure", reason="connect_timeout")
+_GRAB_HANDSHAKE = METRICS.counter("scanner.grab.failure", reason="handshake")
+_GRAB_SECONDS = METRICS.histogram(
+    "scanner.grab.seconds", bounds=DEFAULT_SECONDS_BUCKETS
+)
 
 
 class ZGrabber:
@@ -67,28 +80,40 @@ class ZGrabber:
         ``port`` selects the TLS service (443 HTTPS, 465/993/995 for the
         mail protocols the §7.2 analysis cross-checks)."""
         self.grabs += 1
-        try:
-            address = ip if ip is not None else self.ecosystem.dns.resolve(domain, self._rng)
-        except NXDomainError:
-            self.failures += 1
-            return None, "", "nxdomain"
-        try:
-            server = self.ecosystem.network.connect(address, port)
-        except ConnectTimeout as exc:
-            self.failures += 1
-            return None, str(address), f"connect: {exc}"
-        result = self.client.connect(
-            server,
-            server_name=domain,
-            offer=offer,
-            session_id=session_id,
-            ticket=ticket,
-            saved_session=saved_session,
-            offer_tickets=offer_tickets,
-            capture=capture,
-        )
+        _GRAB_TOTAL.value += 1
+        started = time.perf_counter()
+        with TRACER.span("handshake", domain=domain, port=port):
+            try:
+                address = (
+                    ip if ip is not None
+                    else self.ecosystem.dns.resolve(domain, self._rng)
+                )
+            except NXDomainError:
+                self.failures += 1
+                _GRAB_NXDOMAIN.value += 1
+                _GRAB_SECONDS.observe(time.perf_counter() - started)
+                return None, "", "nxdomain"
+            try:
+                server = self.ecosystem.network.connect(address, port)
+            except ConnectTimeout as exc:
+                self.failures += 1
+                _GRAB_TIMEOUT.value += 1
+                _GRAB_SECONDS.observe(time.perf_counter() - started)
+                return None, str(address), f"connect: {exc}"
+            result = self.client.connect(
+                server,
+                server_name=domain,
+                offer=offer,
+                session_id=session_id,
+                ticket=ticket,
+                saved_session=saved_session,
+                offer_tickets=offer_tickets,
+                capture=capture,
+            )
         if not result.ok:
             self.failures += 1
+            _GRAB_HANDSHAKE.value += 1
+        _GRAB_SECONDS.observe(time.perf_counter() - started)
         return result, str(address), result.error
 
     # -- observation construction -------------------------------------------

@@ -170,6 +170,7 @@ def run_study(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     stream_dir: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
     shard_progress: Optional[Callable[[int, int, int, int], None]] = None,
 ) -> StudyDataset:
     """Run the full measurement study against ``ecosystem``.
@@ -187,6 +188,7 @@ def run_study(
         workers=workers,
         shards=shards,
         stream_dir=stream_dir,
+        telemetry_dir=telemetry_dir,
         shard_progress=shard_progress,
     )
     return dataset
@@ -200,9 +202,15 @@ def run_study_with_stats(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     stream_dir: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
     shard_progress: Optional[Callable[[int, int, int, int], None]] = None,
 ) -> tuple[StudyDataset, StudyStats]:
-    """Like :func:`run_study` but also returns a :class:`StudyStats`."""
+    """Like :func:`run_study` but also returns a :class:`StudyStats`.
+
+    ``telemetry_dir`` additionally writes a run manifest, merged
+    metrics, and trace spans there (see :mod:`repro.obs`); it must not
+    point into the dataset directory.
+    """
     config = config or StudyConfig()
     engine = StudyEngine(config)
     return engine.run(
@@ -212,6 +220,7 @@ def run_study_with_stats(
         workers=workers,
         shards=shards,
         stream_dir=stream_dir,
+        telemetry_dir=telemetry_dir,
     )
 
 

@@ -26,6 +26,7 @@ from ..crypto import dh, ec
 from ..crypto.mac import sha256, constant_time_equal
 from ..crypto.prf import derive_master_secret, verify_data
 from ..crypto.rng import DeterministicRandom
+from ..obs.metrics import METRICS
 from ..x509 import TrustStore, X509Certificate
 from .ciphers import CipherSuite, KeyExchangeKind, MODERN_BROWSER_OFFER
 from .constants import ExtensionType, ProtocolVersion
@@ -305,6 +306,11 @@ class TLSClient:
         result.ok = True
         result.resumed = True
         result.resumed_via = "ticket" if offered_ticket else "session_id"
+        METRICS.counter(
+            "tls.client.handshake",
+            kind="abbreviated",
+            kex=session.cipher_suite.kex.name.lower(),
+        ).inc()
         result.session = session
         keys = derive_connection_keys(session, client_random, server_hello.random)
         result._record_cipher = new_record_cipher(
@@ -408,6 +414,9 @@ class TLSClient:
             raise HandshakeFailure("server Finished verification failed")
 
         result.ok = True
+        METRICS.counter(
+            "tls.client.handshake", kind="full", kex=suite.kex.name.lower()
+        ).inc()
         result.session = SessionState(
             master_secret=master,
             cipher_suite=suite,

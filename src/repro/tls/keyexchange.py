@@ -16,6 +16,7 @@ from typing import Optional, Union
 
 from ..crypto import dh, ec
 from ..crypto.rng import DeterministicRandom
+from ..obs.metrics import METRICS, register_process_cache
 from ..crypto.rsa import RSAPrivateKey, RSAPublicKey
 from .messages import ServerKeyExchangeDHE, ServerKeyExchangeECDHE
 
@@ -142,15 +143,22 @@ def _signed_blob(client_random: bytes, server_random: bytes, params: bytes) -> b
 # EphemeralKeyCache epoch and shared by every handshake in it.
 _PARAMS_CACHE: dict[tuple, bytes] = {}
 _PARAMS_CACHE_MAX = 4096
+register_process_cache(_PARAMS_CACHE.clear)
+
+_PARAMS_HIT = METRICS.counter("tls.kex.params_cache.hit")
+_PARAMS_MISS = METRICS.counter("tls.kex.params_cache.miss")
 
 
 def _cached_params(key: tuple, build) -> bytes:
     params = _PARAMS_CACHE.get(key)
     if params is None:
+        _PARAMS_MISS.value += 1
         params = build()
         if len(_PARAMS_CACHE) >= _PARAMS_CACHE_MAX:
             _PARAMS_CACHE.clear()
         _PARAMS_CACHE[key] = params
+    else:
+        _PARAMS_HIT.value += 1
     return params
 
 
@@ -198,6 +206,7 @@ def build_ecdhe_kex(
             ).params_bytes,
         )
     else:
+        _PARAMS_HIT.value += 1
         params = cached
         # Recover the point encoding from the cached params rather than
         # re-encoding: params = curve_type(1) + named_curve(2) + vec8.

@@ -33,6 +33,7 @@ from ..crypto.mac import sha256, constant_time_equal
 from ..crypto.prf import derive_master_secret, verify_data
 from ..crypto.rng import DeterministicRandom
 from ..crypto.rsa import RSAPrivateKey
+from ..obs.metrics import METRICS
 from ..x509 import X509Certificate
 from .ciphers import CipherSuite, KeyExchangeKind, select_suite
 from .constants import (
@@ -242,6 +243,7 @@ class TLSServer:
         certificate, private_key = self.config.certificate_for(sni)
         if self.config.strict_sni and sni and not certificate.matches_hostname(sni):
             self.failed_handshakes += 1
+            METRICS.counter("tls.server.handshake_failure", reason="sni").inc()
             raise HandshakeFailure(f"unrecognized server name {sni!r}",
                                    AlertDescription.UNRECOGNIZED_NAME)
 
@@ -252,6 +254,7 @@ class TLSServer:
         )
         if suite is None:
             self.failed_handshakes += 1
+            METRICS.counter("tls.server.handshake_failure", reason="no_cipher").inc()
             raise HandshakeFailure("no mutually supported cipher suite")
 
         server_random = self._rng.random_bytes(32)
@@ -280,12 +283,18 @@ class TLSServer:
             if contents is not None:
                 window = self.config.ticket_policy.accept_window_seconds
                 if now - contents.issued_at <= window:
+                    METRICS.counter("tls.server.resumption_accepted", via="ticket").inc()
                     return contents.session, "ticket"
+            METRICS.counter("tls.server.resumption_rejected", via="ticket").inc()
             return None, None  # bad/expired ticket: fall through to full handshake
         if client_hello.session_id and self.config.session_cache is not None:
             session = self.config.session_cache.lookup(client_hello.session_id, now)
             if session is not None:
+                METRICS.counter(
+                    "tls.server.resumption_accepted", via="session_id"
+                ).inc()
                 return session, "session_id"
+            METRICS.counter("tls.server.resumption_rejected", via="session_id").inc()
         return None, None
 
     def _accept_abbreviated(
@@ -456,6 +465,9 @@ class TLSServer:
         expected = verify_data(master, b"client finished", sha256(conn.transcript))
         if not constant_time_equal(client_finished.verify_data, expected):
             self.failed_handshakes += 1
+            METRICS.counter(
+                "tls.server.handshake_failure", reason="finished_verify"
+            ).inc()
             raise HandshakeFailure("client Finished verification failed",
                                    AlertDescription.DECRYPT_ERROR)
         conn.transcript += serialize_handshake(client_finished)
@@ -493,6 +505,11 @@ class TLSServer:
         conn.transcript += finished_bytes
         conn.completed = True
         self.full_handshakes += 1
+        METRICS.counter(
+            "tls.server.handshake",
+            kind="full",
+            kex=conn.cipher_suite.kex.name.lower(),
+        ).inc()
 
         keys = derive_connection_keys(session, conn.client_hello.random, conn.server_random)
         conn.record_cipher = new_record_cipher(keys, is_client=False, suite=conn.cipher_suite)
@@ -518,11 +535,19 @@ class TLSServer:
         )
         if not constant_time_equal(message.verify_data, expected):
             self.failed_handshakes += 1
+            METRICS.counter(
+                "tls.server.handshake_failure", reason="finished_verify"
+            ).inc()
             raise HandshakeFailure("client Finished verification failed",
                                    AlertDescription.DECRYPT_ERROR)
         conn.transcript += serialize_handshake(message)
         conn.completed = True
         self.resumptions += 1
+        METRICS.counter(
+            "tls.server.handshake",
+            kind="abbreviated",
+            kex=conn.cipher_suite.kex.name.lower(),
+        ).inc()
         keys = derive_connection_keys(
             conn.session, conn.client_hello.random, conn.server_random
         )

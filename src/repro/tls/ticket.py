@@ -30,6 +30,7 @@ from typing import Optional
 from ..crypto.mac import constant_time_equal, hmac_sha256
 from ..crypto.modes import PaddingError, cbc_decrypt, cbc_encrypt
 from ..crypto.rng import DeterministicRandom
+from ..obs.metrics import METRICS
 from .ciphers import SUITES_BY_CODE
 from .constants import ProtocolVersion
 from .session import SessionState
@@ -51,6 +52,16 @@ _KEY_NAME_LENGTH = {
 }
 
 _SCHANNEL_HEADER = b"\x30\x82DPAPI"  # stand-in for the ASN.1 DPAPI wrapper
+
+# Seal/open volume is the paper's headline workload.  Opens split three
+# ways: authenticated (``open``), sealed under a different key
+# (``open_wrong_key`` — the routine case when a STEKStore tries its
+# retained keys in order), and structurally/cryptographically rejected
+# (``open_reject`` — truncation, bad MAC, bad padding).
+_SEAL = METRICS.counter("tls.ticket.seal")
+_OPEN_OK = METRICS.counter("tls.ticket.open")
+_OPEN_WRONG_KEY = METRICS.counter("tls.ticket.open_wrong_key")
+_OPEN_REJECT = METRICS.counter("tls.ticket.open_reject")
 
 
 @dataclass(frozen=True)
@@ -157,6 +168,7 @@ def seal_ticket(
         )
     if issued_at is None:
         issued_at = session.created_at
+    _SEAL.value += 1
     iv = rng.random_bytes(16)
     encrypted = cbc_encrypt(stek.aes_key, iv, _encode_state(session, issued_at))
     mac = hmac_sha256(stek.hmac_key, stek.key_name + iv + encrypted)
@@ -214,30 +226,38 @@ def open_ticket(
     offset = 0
     if ticket_format is TicketFormat.SCHANNEL:
         if not ticket.startswith(_SCHANNEL_HEADER):
+            _OPEN_REJECT.value += 1
             return None
         offset = len(_SCHANNEL_HEADER)
     name_len = _KEY_NAME_LENGTH[ticket_format]
     iv_end = offset + name_len + 16
     if len(ticket) < iv_end + 2 + 32:
+        _OPEN_REJECT.value += 1
         return None
     key_name = ticket[offset : offset + name_len]
     if key_name != stek.key_name:
+        _OPEN_WRONG_KEY.value += 1
         return None
     iv = ticket[offset + name_len : iv_end]
     enc_len = int.from_bytes(ticket[iv_end : iv_end + 2], "big")
     enc_end = iv_end + 2 + enc_len
     if len(ticket) != enc_end + 32:  # exactly the MAC must remain
+        _OPEN_REJECT.value += 1
         return None
     encrypted = ticket[iv_end + 2 : enc_end]
     mac = ticket[enc_end:]
     expected = hmac_sha256(stek.hmac_key, key_name + iv + encrypted)
     if not constant_time_equal(mac, expected):
+        _OPEN_REJECT.value += 1
         return None
     try:
         plaintext = cbc_decrypt(stek.aes_key, iv, encrypted)
-        return _decode_state(plaintext)
+        contents = _decode_state(plaintext)
     except (PaddingError, DecodeError, ValueError):
+        _OPEN_REJECT.value += 1
         return None
+    _OPEN_OK.value += 1
+    return contents
 
 
 class STEKStore:

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 from ..crypto.mac import sha256
 from ..crypto.rsa import RSAPrivateKey, RSAPublicKey
+from ..obs.metrics import METRICS, register_process_cache
 from ..wireformat import ByteReader, ByteWriter, DecodeError
 
 _MAGIC = b"RCRT"
@@ -207,6 +208,9 @@ class TrustStore:
     _SIG_MEMO: dict[tuple, bool] = {}
     _SIG_MEMO_MAX = 65536
 
+    _MEMO_HIT = METRICS.counter("x509.sig_memo.hit")
+    _MEMO_MISS = METRICS.counter("x509.sig_memo.miss")
+
     def __init__(self) -> None:
         self._roots: dict[str, RSAPublicKey] = {}
 
@@ -232,10 +236,13 @@ class TrustStore:
         memo_key = (root, certificate)
         signature_ok = self._SIG_MEMO.get(memo_key)
         if signature_ok is None:
+            self._MEMO_MISS.value += 1
             signature_ok = root.verify(certificate.data.tbs_bytes(), certificate.signature)
             if len(self._SIG_MEMO) >= self._SIG_MEMO_MAX:
                 self._SIG_MEMO.clear()
             self._SIG_MEMO[memo_key] = signature_ok
+        else:
+            self._MEMO_HIT.value += 1
         if not signature_ok:
             return ValidationResult(False, "bad signature")
         if not certificate.valid_at(now):
@@ -243,6 +250,9 @@ class TrustStore:
         if hostname is not None and not certificate.matches_hostname(hostname):
             return ValidationResult(False, f"hostname {hostname!r} not in subject names")
         return ValidationResult(True)
+
+
+register_process_cache(TrustStore._SIG_MEMO.clear)
 
 
 __all__ = [

@@ -1,0 +1,60 @@
+"""Span tracing: disabled no-op, ring buffer bounds, JSONL export."""
+
+import json
+
+from repro.obs.trace import Tracer, export_jsonl
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    with tracer.span("op", key="v"):
+        pass
+    assert len(tracer) == 0
+    assert tracer.recorded == 0
+
+
+def test_enabled_tracer_records_span_with_attrs():
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("handshake", domain="example.com"):
+        pass
+    records = tracer.drain()
+    assert len(records) == 1
+    record = records[0]
+    assert record["name"] == "handshake"
+    assert record["attrs"] == {"domain": "example.com"}
+    assert record["duration_s"] >= 0.0
+    assert isinstance(record["pid"], int)
+    assert len(tracer) == 0  # drain empties the buffer
+
+
+def test_ring_buffer_keeps_only_most_recent():
+    tracer = Tracer(capacity=3)
+    tracer.enable()
+    for index in range(5):
+        with tracer.span("op", i=index):
+            pass
+    records = tracer.drain()
+    assert [r["attrs"]["i"] for r in records] == [2, 3, 4]
+    assert tracer.dropped == 2
+    assert tracer.recorded == 5
+
+
+def test_disable_stops_recording():
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("kept"):
+        pass
+    tracer.disable()
+    with tracer.span("ignored"):
+        pass
+    assert [r["name"] for r in tracer.drain()] == ["kept"]
+
+
+def test_export_jsonl_round_trips(tmp_path):
+    path = tmp_path / "sub" / "trace.jsonl"
+    records = [{"name": "a", "duration_s": 0.25}, {"name": "b"}]
+    written = export_jsonl(str(path), records)
+    assert written == 2
+    loaded = [json.loads(line) for line in path.read_text().splitlines()]
+    assert loaded == records

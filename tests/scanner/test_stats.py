@@ -1,0 +1,74 @@
+"""StudyStats: merge semantics and derived-rate properties."""
+
+import pytest
+
+from repro.scanner.engine import StudyStats
+
+
+def _stats(grabs=0, experiments=None, channels=None) -> StudyStats:
+    stats = StudyStats(days=2, shards=2, workers=1, grabs=grabs)
+    stats.scans_by_experiment = dict(experiments or {})
+    stats.records_by_channel = dict(channels or {})
+    return stats
+
+
+class TestMerge:
+    def test_merge_adds_grabs_experiments_and_channels(self):
+        left = _stats(10, {"daily": 6}, {"ticket_daily": 4})
+        right = _stats(5, {"daily": 2, "probe": 3}, {"cache_edges": 1})
+        left.merge(right)
+        assert left.grabs == 15
+        assert left.scans_by_experiment == {"daily": 8, "probe": 3}
+        assert left.records_by_channel == {"ticket_daily": 4, "cache_edges": 1}
+
+    def test_merge_is_associative(self):
+        def fresh():
+            return (
+                _stats(1, {"a": 1}),
+                _stats(2, {"a": 2, "b": 1}),
+                _stats(4, {"b": 5}),
+            )
+
+        s1, s2, s3 = fresh()
+        s1.merge(s2)
+        s1.merge(s3)
+        left = (s1.grabs, s1.scans_by_experiment)
+
+        t1, t2, t3 = fresh()
+        t2.merge(t3)
+        t1.merge(t2)
+        right = (t1.grabs, t1.scans_by_experiment)
+        assert left == right
+
+    def test_merge_with_empty_is_identity(self):
+        stats = _stats(7, {"daily": 7}, {"ticket_daily": 3})
+        stats.merge(_stats())
+        assert stats.grabs == 7
+        assert stats.scans_by_experiment == {"daily": 7}
+        assert stats.records_by_channel == {"ticket_daily": 3}
+
+    def test_merge_does_not_touch_elapsed(self):
+        # Per-shard elapsed times overlap under workers > 1; the engine
+        # stamps wall-clock after the merge instead.
+        left, right = _stats(1), _stats(1)
+        right.elapsed_seconds = 99.0
+        left.merge(right)
+        assert left.elapsed_seconds == 0.0
+
+
+class TestDerived:
+    def test_grabs_per_sec(self):
+        stats = _stats(100)
+        stats.elapsed_seconds = 4.0
+        assert stats.grabs_per_sec == pytest.approx(25.0)
+
+    def test_grabs_per_sec_zero_elapsed_is_zero_not_error(self):
+        assert _stats(100).grabs_per_sec == 0.0
+
+    def test_render_includes_rate_only_when_timed(self):
+        stats = _stats(100, {"daily": 100})
+        assert "grabs/s" not in stats.render()
+        stats.elapsed_seconds = 2.0
+        rendered = stats.render()
+        assert "50.0 grabs/s" in rendered
+        assert "daily" in rendered

@@ -67,3 +67,69 @@ def test_target_analysis(capsys):
 def test_missing_subcommand_errors():
     with pytest.raises(SystemExit):
         main([])
+
+
+# --- telemetry: study --telemetry-dir and the stats subcommand ----------
+
+
+@pytest.fixture(scope="module")
+def telemetry_run(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli-telemetry")
+    out, telemetry = root / "data", root / "telemetry"
+    code = main([
+        "study", "--days", "2", "--out", str(out),
+        "--telemetry-dir", str(telemetry), "-q",
+        "--population", "420", "--seed", "3",
+    ])
+    assert code == 0
+    return out, telemetry
+
+
+def test_study_quiet_suppresses_progress(telemetry_run, capsys):
+    # The fixture ran with -q: no \r progress and no telemetry notice
+    # may have reached stderr (results still go to stdout).
+    assert "scanning day" not in capsys.readouterr().err
+
+
+def test_study_writes_telemetry_next_to_dataset(telemetry_run):
+    out, telemetry = telemetry_run
+    assert (telemetry / "manifest.json").exists()
+    assert (telemetry / "metrics.json").exists()
+    assert (telemetry / "metrics.prom").exists()
+    assert (telemetry / "trace.jsonl").exists()
+    # ... and nothing leaked into the dataset directory.
+    assert not (out / "manifest.json").exists()
+
+
+def test_stats_renders_report(telemetry_run, capsys):
+    _, telemetry = telemetry_run
+    assert main(["stats", str(telemetry)]) == 0
+    out = capsys.readouterr().out
+    assert "run manifest: study" in out
+    assert "per-experiment grabs:" in out
+    assert "cache effectiveness:" in out
+    assert "crypto.aes.key_cache" in out
+
+
+def test_stats_prometheus_exposition(telemetry_run, capsys):
+    _, telemetry = telemetry_run
+    assert main(["stats", str(telemetry), "--prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_scanner_grab_attempt_total counter" in out
+    assert "repro_tls_server_handshake_total" in out
+
+
+def test_stats_rejects_missing_directory(tmp_path, capsys):
+    assert main(["stats", str(tmp_path / "nope")]) == 1
+    assert "cannot load manifest" in capsys.readouterr().err
+
+
+def test_study_rejects_telemetry_dir_equal_to_out(tmp_path, capsys):
+    out = tmp_path / "data"
+    code = main([
+        "study", "--days", "2", "--out", str(out),
+        "--telemetry-dir", str(out),
+        "--population", "420", "--seed", "3",
+    ])
+    assert code == 2
+    assert "must not be the dataset" in capsys.readouterr().err
