@@ -32,6 +32,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import os
 import sys
@@ -39,15 +40,20 @@ from typing import Optional
 
 from . import core
 from .crypto.rng import DeterministicRandom
+from .faults import ImpairmentPlan, RetryPolicy, seeded_profile
 from .hosting import EcosystemConfig, build_ecosystem
 from .netsim.clock import HOUR
 from .scanner import (
+    CheckpointMismatch,
+    CheckpointStore,
+    StudyAborted,
     StudyConfig,
     ZGrabber,
     load_dataset,
     run_study_with_stats,
     save_dataset,
 )
+from .scanner.checkpoint import study_config_from_dict
 
 log = logging.getLogger("repro")
 
@@ -150,6 +156,54 @@ def _scaled_day(paper_day: int, days: int) -> int:
     return min(days - 1, max(1, int(paper_day * days / 63)))
 
 
+def _chaos_profile(args) -> Optional[dict]:
+    """The chaos profile selected by --chaos/--chaos-profile, or None."""
+    if args.chaos_profile:
+        with open(args.chaos_profile, "r", encoding="utf-8") as fh:
+            profile = json.load(fh)
+        ImpairmentPlan.from_profile(profile)  # reject bad files up front
+        return profile
+    if args.chaos is not None:
+        return seeded_profile(args.chaos, args.days)
+    return None
+
+
+def _retry_policy(args) -> Optional[RetryPolicy]:
+    """The RetryPolicy from --retries/--retry-budget/--breaker-threshold,
+    or None when every knob is at its no-op default."""
+    if args.retries <= 1 and args.retry_budget is None and not args.breaker_threshold:
+        return None
+    return RetryPolicy(
+        max_attempts=max(args.retries, 1),
+        retry_budget=args.retry_budget,
+        breaker_threshold=args.breaker_threshold,
+    )
+
+
+def _resumed_study(args) -> tuple["object", StudyConfig]:
+    """Rebuild (ecosystem, config) from a stream directory's checkpoint.
+
+    Everything output-affecting comes from the checkpoint fingerprint —
+    the original study configuration and ecosystem knobs — so a resume
+    cannot accidentally merge shards from two different studies; only
+    execution knobs (``--workers``) are taken from the new invocation.
+    """
+    store = CheckpointStore(args.resume)
+    state = store.load_run_state()
+    fingerprint = state.get("fingerprint", {})
+    config = study_config_from_dict(
+        dict(fingerprint.get("study", {})),
+        workers=args.workers,
+        stream_dir=args.resume,
+    )
+    ecosystem_data = fingerprint.get("ecosystem") or {}
+    if ecosystem_data:
+        ecosystem = build_ecosystem(EcosystemConfig(**ecosystem_data))
+    else:
+        ecosystem = _build(args)
+    return ecosystem, config
+
+
 def cmd_study(args) -> int:
     if args.telemetry_dir and (
         os.path.abspath(args.telemetry_dir) == os.path.abspath(args.out)
@@ -158,28 +212,76 @@ def cmd_study(args) -> int:
               "(telemetry lives next to the dataset, not inside it)",
               file=sys.stderr)
         return 2
-    ecosystem = _build(args)
-    config = StudyConfig(
-        days=args.days,
-        probe_domain_count=args.population,
-        dhe_support_day=_scaled_day(43, args.days),
-        ecdhe_support_day=_scaled_day(44, args.days),
-        ticket_support_day=_scaled_day(46, args.days),
-        crossdomain_day=_scaled_day(50, args.days),
-        session_probe_day=_scaled_day(56, args.days),
-        ticket_probe_day=_scaled_day(58, args.days),
-        shards=args.shards,
-        workers=args.workers,
-        stream_dir=args.stream_dir,
-    )
+    if args.resume:
+        if args.chaos is not None or args.chaos_profile:
+            print("--resume takes its chaos profile from the checkpoint; "
+                  "drop --chaos/--chaos-profile", file=sys.stderr)
+            return 2
+        if args.stream_dir and (
+            os.path.abspath(args.stream_dir) != os.path.abspath(args.resume)
+        ):
+            print("--resume DIR already names the stream directory; a "
+                  "different --stream-dir would split the run", file=sys.stderr)
+            return 2
+        try:
+            ecosystem, config = _resumed_study(args)
+        except (OSError, ValueError) as exc:
+            print(f"cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        log.info("resuming study from %s (config restored from checkpoint)",
+                 args.resume)
+    else:
+        try:
+            chaos = _chaos_profile(args)
+        except (OSError, ValueError) as exc:
+            print(f"bad chaos profile: {exc}", file=sys.stderr)
+            return 2
+        try:
+            retry = _retry_policy(args)
+        except ValueError as exc:
+            print(f"bad retry policy: {exc}", file=sys.stderr)
+            return 2
+        ecosystem = _build(args)
+        config = StudyConfig(
+            days=args.days,
+            probe_domain_count=args.population,
+            dhe_support_day=_scaled_day(43, args.days),
+            ecdhe_support_day=_scaled_day(44, args.days),
+            ticket_support_day=_scaled_day(46, args.days),
+            crossdomain_day=_scaled_day(50, args.days),
+            session_probe_day=_scaled_day(56, args.days),
+            ticket_probe_day=_scaled_day(58, args.days),
+            shards=args.shards,
+            workers=args.workers,
+            stream_dir=args.stream_dir,
+            chaos=chaos,
+            retry=retry,
+        )
     reporter = _ProgressReporter(args.verbosity)
 
-    dataset, stats = run_study_with_stats(
-        ecosystem, config,
-        progress=reporter.day,
-        shard_progress=reporter.shard,
-        telemetry_dir=args.telemetry_dir,
-    )
+    try:
+        dataset, stats = run_study_with_stats(
+            ecosystem, config,
+            progress=reporter.day,
+            shard_progress=reporter.shard,
+            telemetry_dir=args.telemetry_dir,
+            resume=bool(args.resume),
+            fail_fast=args.fail_fast,
+        )
+    except StudyAborted as exc:
+        reporter.close()
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.checkpoint_dir:
+            stream = os.path.dirname(exc.checkpoint_dir)
+            print(f"partial checkpoint kept at {exc.checkpoint_dir}",
+                  file=sys.stderr)
+            print(f"resume with: repro study --resume {stream} "
+                  f"--out {args.out}", file=sys.stderr)
+        return 3
+    except CheckpointMismatch as exc:
+        reporter.close()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     reporter.close()
     save_dataset(dataset, args.out)
     print(f"dataset saved to {args.out} "
@@ -382,6 +484,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a run manifest, merged metrics, and trace "
                             "spans here (must NOT be the dataset directory; "
                             "inspect with `repro stats`)")
+    chaos = study.add_mutually_exclusive_group()
+    chaos.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                       help="inject a deterministic seeded fault schedule "
+                            "(outages, latency spikes, handshake faults, "
+                            "flapping backends, NXDOMAIN windows)")
+    chaos.add_argument("--chaos-profile", default=None, metavar="FILE",
+                       help="JSON repro-chaos/1 impairment profile "
+                            "(see examples/chaos_profile.json)")
+    study.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="connection attempts per grab with capped "
+                            "exponential backoff on the virtual clock "
+                            "(default 1 = never retry)")
+    study.add_argument("--retry-budget", type=int, default=None, metavar="N",
+                       help="cap total retries across the whole study "
+                            "(default unlimited)")
+    study.add_argument("--breaker-threshold", type=int, default=0, metavar="N",
+                       help="open a per-domain circuit breaker after N "
+                            "consecutive failed grabs (default 0 = disabled)")
+    study.add_argument("--fail-fast", action="store_true",
+                       help="abort the whole study on the first shard "
+                            "failure instead of letting sibling shards "
+                            "finish and checkpoint")
+    study.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume a killed streamed study from DIR's "
+                            "checkpoint (config is restored from the "
+                            "checkpoint; output is byte-identical to an "
+                            "uninterrupted run)")
     _add_ecosystem_arguments(study)
     study.set_defaults(func=cmd_study)
 

@@ -1,0 +1,51 @@
+"""Deterministic fault injection and scanner resilience.
+
+Three pieces, all dependency-free and seeded:
+
+* :mod:`plan` — :class:`ImpairmentPlan`: a deterministic schedule (on
+  the virtual clock) of outages, latency spikes, handshake
+  resets/truncations, flapping backends, and NXDOMAIN windows, compiled
+  from a JSON chaos profile or the ``--chaos SEED`` shorthand.
+* :mod:`inject` — :func:`install_chaos` wires a plan into an
+  ecosystem's network/DNS hooks; :class:`ImpairedServer` injects
+  mid-handshake faults on the TLS accept path.
+* :mod:`retry` — :class:`RetryPolicy` (capped exponential backoff on
+  virtual time, retry budget) and a per-domain :class:`CircuitBreaker`
+  consumed by the scanner.
+
+Turned off (no plan installed, default policy), the scanner's behavior
+— and therefore the golden-digest corpus — is byte-for-byte unchanged.
+"""
+
+from .inject import ImpairedServer, install_chaos
+from .plan import (
+    FAULT_KINDS,
+    HANDSHAKE_KINDS,
+    PROFILE_SCHEMA,
+    ImpairmentMatch,
+    ImpairmentPlan,
+    ImpairmentWindow,
+    seeded_profile,
+)
+from .retry import (
+    DEFAULT_RETRY_POLICY,
+    RETRYABLE_REASONS,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "FAULT_KINDS",
+    "HANDSHAKE_KINDS",
+    "ImpairmentMatch",
+    "ImpairmentWindow",
+    "ImpairmentPlan",
+    "seeded_profile",
+    "ImpairedServer",
+    "install_chaos",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "RETRYABLE_REASONS",
+    "CircuitBreaker",
+]

@@ -1,0 +1,419 @@
+"""Deterministic impairment plans: *when* and *where* the network misbehaves.
+
+The paper's nine-week scan ran against a hostile substrate — servers
+that "fail to respond to one of our connections" (§4.3), domains that
+vanish mid-study, balancer jitter.  The netsim models only a flat
+transient-timeout rate; an :class:`ImpairmentPlan` layers *structured*
+misbehavior on top: outage windows, latency spikes, mid-handshake
+resets/truncations, flapping backends, and DNS NXDOMAIN windows, each
+optionally scoped to a provider (domain suffix / IP prefix) so chaos
+profiles can model "CDN X had a bad Tuesday".
+
+Determinism is the whole design.  A plan never consumes the shared
+network RNG stream (which would perturb every later draw and break the
+golden-digest corpus); every decision is a pure hash of
+``(plan seed, window id, target, time slot)``.  The same profile
+therefore yields the same fault at the same virtual instant for the
+same target, regardless of worker count, shard interleaving, or how
+many other connections happened first.
+
+Plans compile from a JSON *chaos profile* (``repro-chaos/1`` schema,
+see :func:`ImpairmentPlan.from_profile`) or from the ``--chaos SEED``
+shorthand (:func:`seeded_profile`), and are installed into a live
+ecosystem by :func:`repro.faults.inject.install_chaos`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto.rng import DeterministicRandom
+from ..netsim.clock import DAY, MINUTE
+
+PROFILE_SCHEMA = "repro-chaos/1"
+
+#: Impairment kinds a window may carry (values appear in metrics labels
+#: and in the grab failure taxonomy).
+KIND_OUTAGE = "outage"          # connect attempts time out
+KIND_LATENCY = "latency"        # connects succeed after a virtual delay
+KIND_RESET = "reset"            # server resets mid-handshake
+KIND_TRUNCATE = "truncate"      # server flight is cut short
+KIND_FLAP = "flap"              # subsets of an endpoint's backends go dark
+KIND_NXDOMAIN = "nxdomain"      # DNS answers NXDOMAIN for existing names
+
+FAULT_KINDS = (
+    KIND_OUTAGE, KIND_LATENCY, KIND_RESET, KIND_TRUNCATE, KIND_FLAP, KIND_NXDOMAIN,
+)
+
+#: Handshake-level kinds (applied on the server accept path).
+HANDSHAKE_KINDS = (KIND_RESET, KIND_TRUNCATE)
+
+
+def _hash01(*parts) -> float:
+    """A uniform float in [0, 1) derived purely from ``parts``.
+
+    This is the plan's only source of "randomness": sha256 of the
+    joined parts, so decisions are a pure function of their inputs and
+    never touch any RNG stream the simulation already owns.
+    """
+    token = "|".join(str(part) for part in parts).encode("utf-8")
+    digest = hashlib.sha256(token).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class ImpairmentMatch:
+    """Which targets a window applies to; empty criteria match everything.
+
+    ``domains`` and ``domain_suffix`` scope by the scanned name (this is
+    how per-provider profiles work — provider customers share a suffix
+    like ``.cf-proxied.example``); ``ip_prefix`` scopes by the dotted
+    address string.  A window applies if *any* populated criterion hits.
+    """
+
+    domains: tuple[str, ...] = ()
+    domain_suffix: str = ""
+    ip_prefix: str = ""
+
+    @property
+    def match_all(self) -> bool:
+        return not (self.domains or self.domain_suffix or self.ip_prefix)
+
+    def matches(self, domain: str = "", ip: str = "") -> bool:
+        if self.match_all:
+            return True
+        if domain:
+            if self.domains and domain in self.domains:
+                return True
+            if self.domain_suffix and domain.endswith(self.domain_suffix):
+                return True
+        if ip and self.ip_prefix and ip.startswith(self.ip_prefix):
+            return True
+        return False
+
+    def to_dict(self) -> dict:
+        out: dict = {}
+        if self.domains:
+            out["domains"] = list(self.domains)
+        if self.domain_suffix:
+            out["domain_suffix"] = self.domain_suffix
+        if self.ip_prefix:
+            out["ip_prefix"] = self.ip_prefix
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ImpairmentMatch":
+        unknown = set(data) - {"domains", "domain_suffix", "ip_prefix"}
+        if unknown:
+            raise ValueError(f"unknown match keys: {sorted(unknown)}")
+        return cls(
+            domains=tuple(data.get("domains", ())),
+            domain_suffix=data.get("domain_suffix", ""),
+            ip_prefix=data.get("ip_prefix", ""),
+        )
+
+
+MATCH_ALL = ImpairmentMatch()
+
+
+@dataclass(frozen=True)
+class ImpairmentWindow:
+    """One scheduled impairment on the virtual clock.
+
+    ``rate`` is the fraction of matched targets affected.  Outage and
+    NXDOMAIN windows affect a stable per-(window, target) subset — a
+    down host stays down for the whole window, like a real incident —
+    while latency/reset/truncate re-roll per ``period_seconds`` time
+    slot, modeling intermittent spikes.  ``down_fraction`` is the
+    per-slot probability that each individual backend of a flapping
+    endpoint is dark.
+    """
+
+    kind: str
+    start: float                    # virtual seconds, inclusive
+    end: float                      # virtual seconds, exclusive
+    rate: float = 1.0
+    delay_seconds: float = 30.0     # latency windows
+    period_seconds: float = 15 * MINUTE  # re-roll slot for transient kinds
+    down_fraction: float = 0.5      # flap windows
+    match: ImpairmentMatch = MATCH_ALL
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown impairment kind {self.kind!r} (expected one of {FAULT_KINDS})"
+            )
+        if not self.end > self.start:
+            raise ValueError(
+                f"window end ({self.end}) must be after start ({self.start})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.delay_seconds <= 0:
+            raise ValueError("delay_seconds must be positive")
+        if self.period_seconds <= 0:
+            raise ValueError("period_seconds must be positive")
+        if not 0.0 <= self.down_fraction <= 1.0:
+            raise ValueError(f"down_fraction must be in [0, 1], got {self.down_fraction}")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def to_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "start_day": self.start / DAY,
+            "end_day": self.end / DAY,
+            "rate": self.rate,
+        }
+        if self.kind == KIND_LATENCY:
+            out["delay_seconds"] = self.delay_seconds
+        if self.kind in (KIND_LATENCY, KIND_RESET, KIND_TRUNCATE, KIND_FLAP):
+            out["period_seconds"] = self.period_seconds
+        if self.kind == KIND_FLAP:
+            out["down_fraction"] = self.down_fraction
+        if not self.match.match_all:
+            out["match"] = self.match.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ImpairmentWindow":
+        allowed = {
+            "kind", "start_day", "end_day", "rate",
+            "delay_seconds", "period_seconds", "down_fraction", "match",
+        }
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(f"unknown window keys: {sorted(unknown)}")
+        for required in ("kind", "start_day", "end_day"):
+            if required not in data:
+                raise ValueError(f"window is missing required key {required!r}")
+        kwargs: dict = {
+            "kind": data["kind"],
+            "start": float(data["start_day"]) * DAY,
+            "end": float(data["end_day"]) * DAY,
+            "rate": float(data.get("rate", 1.0)),
+            "match": ImpairmentMatch.from_dict(data.get("match", {})),
+        }
+        if "delay_seconds" in data:
+            kwargs["delay_seconds"] = float(data["delay_seconds"])
+        if "period_seconds" in data:
+            kwargs["period_seconds"] = float(data["period_seconds"])
+        if "down_fraction" in data:
+            kwargs["down_fraction"] = float(data["down_fraction"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ImpairmentPlan:
+    """A compiled, queryable schedule of impairments.
+
+    The hooks below are the *entire* interface the netsim calls (duck
+    typed — netsim never imports this package): per-connect faults,
+    per-endpoint backend liveness, DNS existence, and server wrapping.
+    Every answer is a pure function of (seed, window, target, time).
+    """
+
+    windows: tuple[ImpairmentWindow, ...] = ()
+    seed: int = 0
+    _by_kind: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        by_kind: dict[str, list[tuple[int, ImpairmentWindow]]] = {}
+        for window_id, window in enumerate(self.windows):
+            by_kind.setdefault(window.kind, []).append((window_id, window))
+        object.__setattr__(self, "_by_kind", by_kind)
+
+    # -- internal ----------------------------------------------------------
+
+    def _active(self, kind: str, now: float):
+        for window_id, window in self._by_kind.get(kind, ()):
+            if window.active(now):
+                yield window_id, window
+
+    def _affected(
+        self, window_id: int, window: ImpairmentWindow, target: str, slot=None
+    ) -> bool:
+        """Is ``target`` in this window's affected subset (stable per slot)?"""
+        if window.rate >= 1.0:
+            return True
+        if window.rate <= 0.0:
+            return False
+        parts = [self.seed, window.kind, window_id, target]
+        if slot is not None:
+            parts.append(slot)
+        return _hash01(*parts) < window.rate
+
+    @staticmethod
+    def _slot(window: ImpairmentWindow, now: float) -> int:
+        return int((now - window.start) // window.period_seconds)
+
+    # -- netsim hooks ------------------------------------------------------
+
+    def connect_fault(
+        self, now: float, ip: str, port: int, domain: str = ""
+    ) -> Optional[tuple[str, float]]:
+        """Fault for one connect attempt: ``("outage", 0)``,
+        ``("latency", delay_seconds)``, or None.  Outages win over
+        latency when both windows are active."""
+        target = domain or f"{ip}:{port}"
+        for window_id, window in self._active(KIND_OUTAGE, now):
+            if window.match.matches(domain, ip) and self._affected(
+                window_id, window, target
+            ):
+                return (KIND_OUTAGE, 0.0)
+        for window_id, window in self._active(KIND_LATENCY, now):
+            if window.match.matches(domain, ip) and self._affected(
+                window_id, window, target, slot=self._slot(window, now)
+            ):
+                return (KIND_LATENCY, window.delay_seconds)
+        return None
+
+    def live_backends(
+        self, now: float, ip: str, port: int, backend_count: int
+    ) -> Optional[list[int]]:
+        """Indices of live backends under flap windows, or None (all live)."""
+        for window_id, window in self._active(KIND_FLAP, now):
+            if not window.match.matches("", ip):
+                continue
+            slot = self._slot(window, now)
+            live = [
+                index for index in range(backend_count)
+                if _hash01(self.seed, KIND_FLAP, window_id, ip, port, slot, index)
+                >= window.down_fraction
+            ]
+            return live
+        return None
+
+    def nxdomain(self, now: float, name: str) -> bool:
+        """Should DNS pretend ``name`` does not exist right now?"""
+        for window_id, window in self._active(KIND_NXDOMAIN, now):
+            if window.match.matches(name, "") and self._affected(
+                window_id, window, name
+            ):
+                return True
+        return False
+
+    def handshake_fault(
+        self, now: float, ip: str, port: int, domain: str = ""
+    ) -> Optional[str]:
+        """``"reset"``/``"truncate"`` for this handshake, or None."""
+        target = domain or f"{ip}:{port}"
+        for kind in HANDSHAKE_KINDS:
+            for window_id, window in self._active(kind, now):
+                if window.match.matches(domain, ip) and self._affected(
+                    window_id, window, target, slot=self._slot(window, now)
+                ):
+                    return kind
+        return None
+
+    def impair_server(self, server, now: float, ip: str, port: int, domain: str = ""):
+        """Wrap ``server`` if a handshake fault fires (netsim calls this
+        so it never has to import the wrapper class itself)."""
+        kind = self.handshake_fault(now, ip, port, domain)
+        if kind is None:
+            return server
+        from .inject import ImpairedServer  # local import: plan ↔ inject
+
+        return ImpairedServer(server, kind)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_profile(self) -> dict:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "seed": self.seed,
+            "windows": [window.to_dict() for window in self.windows],
+        }
+
+    @classmethod
+    def from_profile(cls, profile: dict) -> "ImpairmentPlan":
+        if not isinstance(profile, dict):
+            raise ValueError("chaos profile must be a JSON object")
+        schema = profile.get("schema", PROFILE_SCHEMA)
+        if schema != PROFILE_SCHEMA:
+            raise ValueError(
+                f"unsupported chaos profile schema {schema!r} "
+                f"(expected {PROFILE_SCHEMA!r})"
+            )
+        unknown = set(profile) - {"schema", "seed", "windows"}
+        if unknown:
+            raise ValueError(f"unknown profile keys: {sorted(unknown)}")
+        windows = tuple(
+            ImpairmentWindow.from_dict(entry)
+            for entry in profile.get("windows", ())
+        )
+        return cls(windows=windows, seed=int(profile.get("seed", 0)))
+
+
+def seeded_profile(seed: int, days: int) -> dict:
+    """The ``--chaos SEED`` shorthand: a plausible schedule derived from
+    the seed alone — one multi-hour outage, a study-long low-rate latency
+    band, intermittent reset/truncate spikes, a flapping afternoon, and a
+    short NXDOMAIN incident.  Same (seed, days) ⇒ same profile dict."""
+    if days <= 0:
+        raise ValueError("days must be positive")
+    rng = DeterministicRandom(f"chaos-profile:{seed}")
+    horizon = float(days)
+
+    def window_start(length_days: float) -> float:
+        return rng.uniform(0.0, max(horizon - length_days, 0.001))
+
+    windows = []
+    outage_len = rng.uniform(0.05, 0.25)
+    windows.append({
+        "kind": KIND_OUTAGE,
+        "start_day": window_start(outage_len),
+        "end_day": 0.0,  # patched below
+        "rate": rng.uniform(0.4, 0.9),
+    })
+    windows[-1]["end_day"] = windows[-1]["start_day"] + outage_len
+    windows.append({
+        "kind": KIND_LATENCY,
+        "start_day": 0.0,
+        "end_day": horizon,
+        "rate": rng.uniform(0.02, 0.08),
+        "delay_seconds": rng.uniform(10.0, 45.0),
+        "period_seconds": 300.0,
+    })
+    for kind, rate_hi in ((KIND_RESET, 0.2), (KIND_TRUNCATE, 0.15)):
+        length = rng.uniform(0.1, 0.4)
+        start = window_start(length)
+        windows.append({
+            "kind": kind,
+            "start_day": start,
+            "end_day": start + length,
+            "rate": rng.uniform(0.05, rate_hi),
+            "period_seconds": 600.0,
+        })
+    flap_len = rng.uniform(0.2, 0.5)
+    flap_start = window_start(flap_len)
+    windows.append({
+        "kind": KIND_FLAP,
+        "start_day": flap_start,
+        "end_day": flap_start + flap_len,
+        "period_seconds": 900.0,
+        "down_fraction": rng.uniform(0.3, 0.6),
+    })
+    nx_len = rng.uniform(0.05, 0.2)
+    nx_start = window_start(nx_len)
+    windows.append({
+        "kind": KIND_NXDOMAIN,
+        "start_day": nx_start,
+        "end_day": nx_start + nx_len,
+        "rate": rng.uniform(0.1, 0.3),
+    })
+    return {"schema": PROFILE_SCHEMA, "seed": seed, "windows": windows}
+
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "FAULT_KINDS",
+    "HANDSHAKE_KINDS",
+    "ImpairmentMatch",
+    "ImpairmentWindow",
+    "ImpairmentPlan",
+    "seeded_profile",
+]

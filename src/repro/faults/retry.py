@@ -1,0 +1,148 @@
+"""Scanner-side resilience: retry budgets, backoff, and circuit breaking.
+
+A real longitudinal scanner cannot treat every timeout as truth — the
+paper's pipeline re-contacts hosts and tolerates balancer jitter rather
+than letting substrate noise bias the measurement.  :class:`RetryPolicy`
+describes how :class:`repro.scanner.grab.ZGrabber` should respond to
+*retryable* failures: capped exponential backoff on the **virtual**
+clock (retries advance simulated time, never wall time), an optional
+global retry budget, and a per-domain :class:`CircuitBreaker` that stops
+hammering a host that is clearly down.
+
+The default policy (:data:`DEFAULT_RETRY_POLICY`) is one attempt, no
+breaker — byte-for-byte identical scanner behavior to a build without
+this module, which is what keeps the golden-digest corpus stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Failure reasons worth a retry: substrate noise, not server policy.
+#: ``nxdomain`` and ``handshake`` are deliberate server answers (the
+#: domain is gone / the handshake was refused) and retrying would only
+#: re-measure the same fact.
+RETRYABLE_REASONS = frozenset(
+    {"connect_timeout", "no_backend", "outage", "reset", "truncate"}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the grabber responds to retryable failures.
+
+    ``max_attempts`` counts connection attempts per grab (1 = never
+    retry).  ``retry_budget`` caps total retries across a grabber's
+    lifetime (None = unlimited) so a melting ecosystem cannot stretch a
+    study unboundedly.  ``breaker_threshold`` consecutive failed grabs
+    against one domain open its breaker for ``breaker_cooldown_seconds``
+    of virtual time (0 = breaker disabled); the first attempt after the
+    cooldown is a half-open trial.
+    """
+
+    max_attempts: int = 1
+    base_delay_seconds: float = 2.0
+    backoff_multiplier: float = 2.0
+    max_delay_seconds: float = 120.0
+    retry_budget: Optional[int] = None
+    breaker_threshold: int = 0
+    breaker_cooldown_seconds: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_seconds <= 0:
+            raise ValueError("base_delay_seconds must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.max_delay_seconds < self.base_delay_seconds:
+            raise ValueError("max_delay_seconds must be >= base_delay_seconds")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0")
+        if self.breaker_cooldown_seconds <= 0:
+            raise ValueError("breaker_cooldown_seconds must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Does this policy change scanner behavior at all?"""
+        return self.max_attempts > 1 or self.breaker_threshold > 0
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Virtual seconds to wait after failed attempt number ``attempt``
+        (1-based): capped exponential, no jitter (determinism first)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = self.base_delay_seconds * self.backoff_multiplier ** (attempt - 1)
+        return min(delay, self.max_delay_seconds)
+
+
+#: One attempt, no breaker: the historical scanner behavior.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure breaker on the virtual clock.
+
+    ``threshold`` consecutive failures open the breaker for ``cooldown``
+    seconds; while open, :meth:`allow` returns False.  After the
+    cooldown one trial is let through *half-open*: success closes the
+    breaker, failure re-opens it immediately.
+    """
+
+    def __init__(self, threshold: int, cooldown_seconds: float) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown_seconds <= 0:
+            raise ValueError("cooldown_seconds must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown_seconds
+        self._consecutive: dict[str, int] = {}
+        self._open_until: dict[str, float] = {}
+        self._half_open: set[str] = set()
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open_until)
+
+    def allow(self, key: str, now: float) -> bool:
+        until = self._open_until.get(key)
+        if until is None:
+            return True
+        if now < until:
+            return False
+        # Cooldown elapsed: let one trial through half-open.
+        del self._open_until[key]
+        self._half_open.add(key)
+        return True
+
+    def record(self, key: str, ok: bool, now: float) -> Optional[str]:
+        """Record a grab outcome; returns ``"opened"``/``"closed"`` on a
+        state transition, else None."""
+        if ok:
+            self._consecutive.pop(key, None)
+            if key in self._half_open:
+                self._half_open.discard(key)
+                return "closed"
+            return None
+        if key in self._half_open:
+            self._half_open.discard(key)
+            self._open_until[key] = now + self.cooldown
+            return "opened"
+        count = self._consecutive.get(key, 0) + 1
+        if count >= self.threshold:
+            self._consecutive.pop(key, None)
+            self._open_until[key] = now + self.cooldown
+            return "opened"
+        self._consecutive[key] = count
+        return None
+
+
+__all__ = [
+    "RETRYABLE_REASONS",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "CircuitBreaker",
+]

@@ -14,11 +14,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..crypto.rng import DeterministicRandom
+from ..obs.metrics import METRICS
 from .address import IPv4Address
+
+_INJECTED_NXDOMAIN = METRICS.counter("faults.injected", kind="nxdomain")
 
 
 class NXDomainError(KeyError):
     """The queried name does not exist."""
+
+    reason = "nxdomain"
 
 
 @dataclass
@@ -35,6 +40,14 @@ class DNSZone:
     def __init__(self) -> None:
         self._records: dict[str, DNSRecordSet] = {}
         self.queries = 0
+        self._plan = None
+        self._now = None
+
+    def install_impairments(self, plan, now_fn) -> None:
+        """Attach an impairment plan (duck-typed; see repro.faults.plan)
+        whose NXDOMAIN windows make existing names resolve as absent."""
+        self._plan = plan
+        self._now = now_fn
 
     def add_a(self, name: str, address: IPv4Address) -> None:
         self._records.setdefault(name.lower(), DNSRecordSet()).a_records.append(address)
@@ -48,6 +61,9 @@ class DNSZone:
     def resolve_all(self, name: str) -> list[IPv4Address]:
         """All A records for a name (raises NXDomainError if absent)."""
         self.queries += 1
+        if self._plan is not None and self._plan.nxdomain(self._now(), name.lower()):
+            _INJECTED_NXDOMAIN.value += 1
+            raise NXDomainError(name)
         record_set = self._records.get(name.lower())
         if record_set is None or not record_set.a_records:
             raise NXDomainError(name)

@@ -77,6 +77,77 @@ def _histogram_quantile(hist: dict, q: float) -> float:
     return float("inf")
 
 
+def _resilience_sections(metrics: dict) -> list[str]:
+    """Failure-reason breakdown plus retry/backoff and injected-fault
+    tables (empty when the run had nothing to report)."""
+    counters = metrics.get("counters", {})
+    failures: dict[str, int] = {}
+    retries: dict[str, int] = {}
+    injected: dict[str, int] = {}
+    attempts = 0
+    breaker = {"opened": 0, "closed": 0}
+    for key, value in counters.items():
+        name, labels = parse_key(key)
+        if name == "scanner.grab.failure":
+            failures[labels.get("reason", "?")] = value
+        elif name == "scanner.grab.retry":
+            retries[labels.get("reason", "?")] = value
+        elif name == "faults.injected":
+            injected[labels.get("kind", "?")] = value
+        elif name == "scanner.grab.attempt":
+            attempts += value
+        elif name == "scanner.breaker.opened":
+            breaker["opened"] = value
+        elif name == "scanner.breaker.closed":
+            breaker["closed"] = value
+
+    lines: list[str] = []
+    if failures:
+        lines.append("")
+        lines.append("failure breakdown:")
+        width = max(len(reason) for reason in failures)
+        for reason, count in sorted(failures.items(), key=lambda kv: -kv[1]):
+            share = f"  {count / attempts * 100:5.2f}% of grabs" if attempts else ""
+            lines.append(f"  {reason:<{width}}  {count:>10,}{share}")
+
+    attempts_hist = next(
+        (
+            hist for key, hist in metrics.get("histograms", {}).items()
+            if parse_key(key)[0] == "scanner.grab.attempts_per_grab"
+        ),
+        None,
+    )
+    if retries or breaker["opened"] or (
+        attempts_hist and attempts_hist.get("count")
+    ):
+        lines.append("")
+        lines.append("retry/backoff:")
+        total_retries = sum(retries.values())
+        lines.append(f"  {total_retries:,} retries taken")
+        width = max((len(reason) for reason in retries), default=0)
+        for reason, count in sorted(retries.items(), key=lambda kv: -kv[1]):
+            lines.append(f"    {reason:<{width}}  {count:>10,}")
+        if attempts_hist and attempts_hist.get("count"):
+            mean = attempts_hist["sum"] / attempts_hist["count"]
+            lines.append(
+                f"  {mean:.2f} mean attempts per grab "
+                f"(over {attempts_hist['count']:,} grabs)"
+            )
+        if breaker["opened"]:
+            lines.append(
+                f"  circuit breaker: opened {breaker['opened']:,}×, "
+                f"closed {breaker['closed']:,}×"
+            )
+
+    if injected:
+        lines.append("")
+        lines.append("injected faults (chaos plan):")
+        width = max(len(kind) for kind in injected)
+        for kind, count in sorted(injected.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {kind:<{width}}  {count:>10,}")
+    return lines
+
+
 def render_stats_report(manifest: dict, metrics: dict) -> str:
     """The ``repro stats`` human-readable view of one run."""
     lines: list[str] = []
@@ -142,10 +213,18 @@ def render_stats_report(manifest: dict, metrics: dict) -> str:
                 line += f" / {stats['evictions']:,} evicted"
             lines.append(line + ")")
 
+    lines.extend(_resilience_sections(metrics))
+
     counters = metrics.get("counters", {})
     interesting = [
         key for key in counters
-        if not any(key.startswith(p) for p in ("crypto.", "x509."))
+        if not any(key.startswith(p) for p in (
+            # crypto/x509 are cache internals; the scanner failure,
+            # retry, and fault-injection families get curated tables
+            # from _resilience_sections above.
+            "crypto.", "x509.", "scanner.grab.failure",
+            "scanner.grab.retry", "faults.injected",
+        ))
     ]
     if interesting:
         lines.append("")

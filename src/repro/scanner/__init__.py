@@ -14,7 +14,8 @@ from .datastore import (
     LazyRecordView,
     ScanIndex,
 )
-from .engine import ShardResult, StudyEngine, StudyStats, run_shard
+from .checkpoint import CheckpointMismatch, CheckpointStore
+from .engine import ShardResult, StudyAborted, StudyEngine, StudyStats, run_shard
 from .experiments import (
     EVERY_DAY,
     CrossDomainExperiment,
@@ -80,8 +81,11 @@ __all__ = [
     "EVERY_DAY",
     "StudyEngine",
     "StudyStats",
+    "StudyAborted",
     "ShardResult",
     "run_shard",
+    "CheckpointStore",
+    "CheckpointMismatch",
     "StudyConfig",
     "StudyDataset",
     "run_study",

@@ -32,11 +32,13 @@ from __future__ import annotations
 import os
 import shutil
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..crypto.rng import DeterministicRandom
+from ..faults.inject import install_chaos
+from ..faults.plan import ImpairmentPlan
 from ..hosting.ecosystem import Ecosystem
 from ..netsim.clock import DAY
 from ..obs import manifest as obs_manifest
@@ -44,10 +46,12 @@ from ..obs.metrics import (
     METRICS,
     cache_stats,
     merge_snapshots,
+    parse_key,
     reset_process_caches,
 )
 from ..obs.report import render_prometheus
 from ..obs.trace import TRACER, export_jsonl
+from .checkpoint import CheckpointMismatch, CheckpointStore, checkpoint_fingerprint
 from .datastore import (
     concatenate_channels,
     open_channel_views,
@@ -59,6 +63,27 @@ from .grab import ZGrabber
 from .records import CHANNELS
 
 ShardProgress = Callable[[int, int, int, int], None]
+
+
+class StudyAborted(RuntimeError):
+    """A study stopped before the merge (shard failure or kill switch).
+
+    ``checkpoint_dir`` (when the run streamed to disk) points at the
+    partial checkpoint so the caller can surface ``--resume``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        completed_shards: tuple = (),
+        failed_shards: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.checkpoint_dir = checkpoint_dir
+        self.completed_shards = list(completed_shards)
+        self.failed_shards = list(failed_shards)
 
 
 @dataclass
@@ -193,10 +218,18 @@ def run_shard(
     metrics_base = METRICS.snapshot()
     shard_started = time.perf_counter()
     day_seconds: list = []
+    chaos = getattr(config, "chaos", None)
+    if chaos:
+        # Compiled per shard (plans are cheap); decisions are pure
+        # hashes of (seed, window, target, time), so every shard sees
+        # the same schedule regardless of worker or process layout.
+        install_chaos(ecosystem, ImpairmentPlan.from_profile(chaos))
     rng = DeterministicRandom(config.seed)
     if shard_count > 1:
         rng = rng.fork(f"shard:{shard_id}/{shard_count}")
-    grabber = ZGrabber(ecosystem, rng.fork("grabber"))
+    grabber = ZGrabber(
+        ecosystem, rng.fork("grabber"), retry=getattr(config, "retry", None)
+    )
     sink = _StreamingSink(stream_dir) if stream_dir else _MemorySink()
     stats = StudyStats(days=config.days, shards=shard_count, workers=1)
 
@@ -345,6 +378,8 @@ class StudyEngine:
         shards: Optional[int] = None,
         stream_dir: Optional[str] = None,
         telemetry_dir: Optional[str] = None,
+        resume: bool = False,
+        fail_fast: bool = False,
     ):
         """Run the study; returns ``(StudyDataset, StudyStats)``.
 
@@ -356,6 +391,18 @@ class StudyEngine:
         writes a run manifest, merged metrics snapshot, Prometheus
         exposition, and trace JSONL there.  Telemetry never touches the
         dataset: pass a directory *outside* ``stream_dir``.
+
+        Streamed runs checkpoint each completed shard under
+        ``<stream_dir>/checkpoint/`` (see :mod:`.checkpoint`);
+        ``resume=True`` re-executes only the shards the checkpoint is
+        missing, after verifying the stored configuration fingerprint.
+        Because shards are pure functions of (config, shard_id), a
+        resumed run's merged dataset is byte-identical to an
+        uninterrupted one, and the merge removes the checkpoint so the
+        finished directory carries no trace of the interruption.  On a
+        shard failure the engine raises :class:`StudyAborted` carrying
+        the checkpoint path; ``fail_fast`` stops dispatching new shards
+        immediately instead of letting siblings finish and checkpoint.
         """
         from .study import StudyDataset  # local import to avoid a cycle
 
@@ -380,8 +427,33 @@ class StudyEngine:
                 )
             TRACER.enable()
 
-        if shards == 1:
-            results = [run_shard(
+        store = CheckpointStore(stream_dir) if stream_dir is not None else None
+        fingerprint = checkpoint_fingerprint(
+            config, getattr(ecosystem, "config", None), shards
+        )
+        completed: dict[int, ShardResult] = {}
+        if resume:
+            if store is None:
+                raise ValueError(
+                    "resume requires a stream_dir: checkpoints live under "
+                    "<stream_dir>/checkpoint/"
+                )
+            if not store.exists():
+                raise CheckpointMismatch(
+                    f"no checkpoint under {store.directory}; nothing to resume"
+                )
+            store.validate(fingerprint)
+            completed = store.load_completed()
+        elif store is not None:
+            store.reset(fingerprint)
+        todo = [
+            shard_id for shard_id in range(shards) if shard_id not in completed
+        ]
+
+        if not todo:
+            results = list(completed.values())
+        elif shards == 1:
+            result = run_shard(
                 ecosystem,
                 config,
                 shard_id=0,
@@ -390,14 +462,20 @@ class StudyEngine:
                 if stream_dir else None,
                 registry=self.registry,
                 progress=progress,
-            )]
+            )
+            if store is not None:
+                store.save_shard(result)
+            results = [result]
         else:
-            results = self._run_sharded(
+            results = list(completed.values()) + self._run_sharded(
                 ecosystem, shards, workers, stream_dir, shard_progress,
                 trace=telemetry_dir is not None,
+                todo=todo, store=store, fail_fast=fail_fast,
             )
 
         dataset, stats = self._merge(results, stream_dir, workers)
+        if store is not None:
+            store.clear()
         stats.elapsed_seconds = time.perf_counter() - run_start
         if telemetry_dir is not None:
             try:
@@ -416,38 +494,63 @@ class StudyEngine:
         stream_dir: Optional[str],
         shard_progress: Optional[ShardProgress],
         trace: bool = False,
+        todo: Optional[list[int]] = None,
+        store: Optional[CheckpointStore] = None,
+        fail_fast: bool = False,
     ) -> list[ShardResult]:
+        """Execute the shards in ``todo`` (default: all), checkpointing
+        each completed shard as it lands.  Raises :class:`StudyAborted`
+        if any shard fails; without ``fail_fast`` sibling shards still
+        finish (and checkpoint) first, so a later ``--resume`` only
+        repeats the broken shard."""
         config = self.config
+        todo = list(range(shards)) if todo is None else list(todo)
         pending = METRICS.gauge("engine.pending_shards")
-        pending.set(shards)
+        pending.set(len(todo))
 
         def subdir(shard_id: int) -> Optional[str]:
             if stream_dir is None:
                 return None
             return os.path.join(stream_dir, "shards", f"{shard_id:02d}")
 
+        results: list[ShardResult] = []
+        failures: list[tuple[int, BaseException]] = []
+
+        def record(result: ShardResult) -> None:
+            if store is not None:
+                store.save_shard(result)
+            results.append(result)
+            pending.set(len(todo) - len(results) - len(failures))
+            if shard_progress is not None:
+                shard_progress(result.shard_id, shards, config.days, config.days)
+
         if workers == 1:
             from ..hosting import build_ecosystem
 
-            results = []
-            for shard_id in range(shards):
+            for shard_id in todo:
                 view = build_ecosystem(ecosystem.config)
 
                 def day_progress(day, days, _sid=shard_id):
                     if shard_progress is not None:
                         shard_progress(_sid, shards, day, days)
 
-                results.append(run_shard(
-                    view,
-                    config,
-                    shard_id=shard_id,
-                    shard_count=shards,
-                    stream_dir=subdir(shard_id),
-                    registry=self.registry,
-                    progress=day_progress,
-                ))
-                pending.set(shards - shard_id - 1)
-            return results
+                try:
+                    result = run_shard(
+                        view,
+                        config,
+                        shard_id=shard_id,
+                        shard_count=shards,
+                        stream_dir=subdir(shard_id),
+                        registry=self.registry,
+                        progress=day_progress,
+                    )
+                except Exception as exc:
+                    failures.append((shard_id, exc))
+                    if fail_fast:
+                        break
+                    continue
+                record(result)
+            return self._finish_sharded(results, failures, store)
 
         if self.registry is not None:
             raise ValueError(
@@ -455,22 +558,56 @@ class StudyEngine:
                 "worker processes; run with workers=1 or register via "
                 "default_registry"
             )
-        tasks = [
-            (ecosystem.config, config, shard_id, shards, subdir(shard_id), trace)
-            for shard_id in range(shards)
-        ]
-        results: list[Optional[ShardResult]] = [None] * shards
-        done = 0
-        with ProcessPoolExecutor(max_workers=min(workers, shards)) as pool:
-            for result in pool.map(_shard_worker, tasks):
-                results[result.shard_id] = result
-                done += 1
-                pending.set(shards - done)
-                if shard_progress is not None:
-                    shard_progress(
-                        result.shard_id, shards, config.days, config.days
-                    )
-        return results  # type: ignore[return-value]
+        with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+            futures = {
+                pool.submit(_shard_worker, (
+                    ecosystem.config, config, shard_id, shards,
+                    subdir(shard_id), trace,
+                )): shard_id
+                for shard_id in todo
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    exc = future.exception()
+                    if exc is not None:
+                        failures.append((futures[future], exc))
+                        if fail_fast:
+                            for leftover in outstanding:
+                                leftover.cancel()
+                            outstanding = set()
+                        continue
+                    record(future.result())
+        return self._finish_sharded(results, failures, store)
+
+    @staticmethod
+    def _finish_sharded(
+        results: list[ShardResult],
+        failures: list[tuple[int, BaseException]],
+        store: Optional[CheckpointStore],
+    ) -> list[ShardResult]:
+        if not failures:
+            return results
+        failed_ids = sorted(shard_id for shard_id, _ in failures)
+        causes = "; ".join(
+            f"shard {shard_id}: {exc}" for shard_id, exc in failures
+        )
+        checkpoint_dir = store.directory if store is not None else None
+        kept = (
+            f"{len(store.completed_shards())} shard(s) checkpointed under "
+            f"{checkpoint_dir}" if store is not None
+            else "no stream_dir, so nothing was checkpointed"
+        )
+        raise StudyAborted(
+            f"study aborted: {len(failed_ids)} shard(s) failed ({causes}); "
+            f"{kept}",
+            checkpoint_dir=checkpoint_dir,
+            completed_shards=tuple(sorted(r.shard_id for r in results)),
+            failed_shards=tuple(failed_ids),
+        ) from failures[0][1]
 
     # -- merge -------------------------------------------------------------
 
@@ -625,6 +762,7 @@ class StudyEngine:
 __all__ = [
     "StudyEngine",
     "StudyStats",
+    "StudyAborted",
     "ShardResult",
     "run_shard",
 ]

@@ -6,6 +6,22 @@ raises: every failure mode (NXDOMAIN, timeout, handshake failure,
 certificate problems) becomes a :class:`ScanObservation` with
 ``success=False`` and an error string — exactly how an Internet-wide
 scanner has to behave.
+
+Failures carry a *reason* from the taxonomy below; with a
+:class:`repro.faults.RetryPolicy` the grabber retries retryable
+reasons with capped exponential backoff on the **virtual** clock and
+trips a per-domain circuit breaker.  The default policy is a single
+attempt with no breaker — byte-identical to the historical scanner.
+
+Failure taxonomy (the ``reason`` label on ``scanner.grab.failure``):
+
+* ``nxdomain``         — DNS says the name does not exist
+* ``connect_timeout``  — transient no-response (netsim flat rate)
+* ``no_backend``       — endpoint routable but no process serving it
+* ``outage``           — chaos-plan outage window
+* ``reset``/``truncate`` — injected mid-handshake faults
+* ``handshake``        — the TLS handshake itself failed
+* ``breaker_open``     — skipped: the domain's circuit breaker is open
 """
 
 from __future__ import annotations
@@ -14,6 +30,7 @@ import time
 from typing import Optional
 
 from ..crypto.rng import DeterministicRandom
+from ..faults.retry import DEFAULT_RETRY_POLICY, RETRYABLE_REASONS, CircuitBreaker
 from ..hosting.ecosystem import Ecosystem
 from ..netsim.dns import NXDomainError
 from ..netsim.network import ConnectTimeout
@@ -33,21 +50,49 @@ _KEX_NAMES = {
     KeyExchangeKind.ECDHE: "ecdhe",
 }
 
+#: Every reason a grab can fail for (see module docstring).
+FAILURE_REASONS = (
+    "nxdomain",
+    "connect_timeout",
+    "no_backend",
+    "outage",
+    "reset",
+    "truncate",
+    "handshake",
+    "breaker_open",
+)
+
 # Prebound instruments: connect() is the hot path (one call per grab),
 # so the dict lookups happen once at import, not per connection.
 _GRAB_TOTAL = METRICS.counter("scanner.grab.attempt")
-_GRAB_NXDOMAIN = METRICS.counter("scanner.grab.failure", reason="nxdomain")
-_GRAB_TIMEOUT = METRICS.counter("scanner.grab.failure", reason="connect_timeout")
-_GRAB_HANDSHAKE = METRICS.counter("scanner.grab.failure", reason="handshake")
+_GRAB_FAILURE = {
+    reason: METRICS.counter("scanner.grab.failure", reason=reason)
+    for reason in FAILURE_REASONS
+}
+_GRAB_RETRY = {
+    reason: METRICS.counter("scanner.grab.retry", reason=reason)
+    for reason in sorted(RETRYABLE_REASONS)
+}
 _GRAB_SECONDS = METRICS.histogram(
     "scanner.grab.seconds", bounds=DEFAULT_SECONDS_BUCKETS
 )
+_GRAB_ATTEMPTS = METRICS.histogram(
+    "scanner.grab.attempts_per_grab", bounds=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+)
+_BREAKER_OPEN = METRICS.gauge("scanner.breaker.open")
+_BREAKER_OPENED = METRICS.counter("scanner.breaker.opened")
+_BREAKER_CLOSED = METRICS.counter("scanner.breaker.closed")
 
 
 class ZGrabber:
     """A scanning client bound to one ecosystem."""
 
-    def __init__(self, ecosystem: Ecosystem, rng: DeterministicRandom) -> None:
+    def __init__(
+        self,
+        ecosystem: Ecosystem,
+        rng: DeterministicRandom,
+        retry=None,
+    ) -> None:
         self.ecosystem = ecosystem
         self._rng = rng
         self.client = TLSClient(
@@ -56,10 +101,19 @@ class ZGrabber:
             ecosystem.clock.now,
             reuse_client_ephemerals=True,
         )
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self._breaker = (
+            CircuitBreaker(self.retry.breaker_threshold,
+                           self.retry.breaker_cooldown_seconds)
+            if self.retry.breaker_threshold > 0 else None
+        )
+        self._retries_left = self.retry.retry_budget
         #: Connection attempts (the StudyStats "grabs" counter).
         self.grabs = 0
         #: Attempts that never reached a completed handshake.
         self.failures = 0
+        #: Retries taken (0 under the default single-attempt policy).
+        self.retries = 0
 
     # -- low-level ---------------------------------------------------------
 
@@ -78,7 +132,61 @@ class ZGrabber:
         """Resolve, route, and handshake.  Returns (result, ip, error).
 
         ``port`` selects the TLS service (443 HTTPS, 465/993/995 for the
-        mail protocols the §7.2 analysis cross-checks)."""
+        mail protocols the §7.2 analysis cross-checks).  Retryable
+        failures are re-attempted per the grabber's retry policy; the
+        returned triple reflects the final attempt."""
+        policy = self.retry
+        clock = self.ecosystem.clock
+        breaker = self._breaker
+        if breaker is not None and not breaker.allow(domain, clock.now()):
+            # Skipped grabs still count as grabs so record/stat parity
+            # with the attempted schedule is preserved.
+            self.grabs += 1
+            self.failures += 1
+            _GRAB_TOTAL.value += 1
+            _GRAB_FAILURE["breaker_open"].value += 1
+            return None, "", "breaker open"
+        attempts = 0
+        while True:
+            attempts += 1
+            result, address, error, reason = self._attempt(
+                domain, offer, session_id, ticket, saved_session,
+                offer_tickets, capture, ip, port,
+            )
+            if reason is None or attempts >= policy.max_attempts:
+                break
+            if reason not in RETRYABLE_REASONS or not self._take_retry_token():
+                break
+            self.retries += 1
+            _GRAB_RETRY[reason].value += 1
+            # Backoff advances *virtual* time through the ecosystem so
+            # scheduled events (STEK rotations, churn) fire while the
+            # scanner waits, just as during a real scan.
+            self.ecosystem.advance_to(clock.now() + policy.backoff_delay(attempts))
+        if breaker is not None:
+            transition = breaker.record(domain, reason is None, clock.now())
+            if transition == "opened":
+                _BREAKER_OPENED.value += 1
+            elif transition == "closed":
+                _BREAKER_CLOSED.value += 1
+            _BREAKER_OPEN.set(breaker.open_count)
+        if policy.enabled:
+            _GRAB_ATTEMPTS.observe(float(attempts))
+        return result, address, error
+
+    def _take_retry_token(self) -> bool:
+        if self._retries_left is None:
+            return True
+        if self._retries_left <= 0:
+            return False
+        self._retries_left -= 1
+        return True
+
+    def _attempt(
+        self, domain, offer, session_id, ticket, saved_session,
+        offer_tickets, capture, ip, port,
+    ) -> tuple[Optional[HandshakeResult], str, str, Optional[str]]:
+        """One attempt: (result, ip, error, failure_reason-or-None)."""
         self.grabs += 1
         _GRAB_TOTAL.value += 1
         started = time.perf_counter()
@@ -90,16 +198,17 @@ class ZGrabber:
                 )
             except NXDomainError:
                 self.failures += 1
-                _GRAB_NXDOMAIN.value += 1
+                _GRAB_FAILURE["nxdomain"].value += 1
                 _GRAB_SECONDS.observe(time.perf_counter() - started)
-                return None, "", "nxdomain"
+                return None, "", "nxdomain", "nxdomain"
             try:
-                server = self.ecosystem.network.connect(address, port)
+                server = self.ecosystem.network.connect(address, port, domain=domain)
             except ConnectTimeout as exc:
                 self.failures += 1
-                _GRAB_TIMEOUT.value += 1
+                reason = getattr(exc, "reason", "connect_timeout")
+                _GRAB_FAILURE[reason].value += 1
                 _GRAB_SECONDS.observe(time.perf_counter() - started)
-                return None, str(address), f"connect: {exc}"
+                return None, str(address), f"connect: {exc}", reason
             result = self.client.connect(
                 server,
                 server_name=domain,
@@ -110,11 +219,13 @@ class ZGrabber:
                 offer_tickets=offer_tickets,
                 capture=capture,
             )
+        reason = None
         if not result.ok:
             self.failures += 1
-            _GRAB_HANDSHAKE.value += 1
+            reason = getattr(server, "injected_fault", None) or "handshake"
+            _GRAB_FAILURE[reason].value += 1
         _GRAB_SECONDS.observe(time.perf_counter() - started)
-        return result, str(address), result.error
+        return result, str(address), result.error, reason
 
     # -- observation construction -------------------------------------------
 
@@ -170,4 +281,4 @@ class ZGrabber:
             observation.kex_public = result.server_kex_public.hex()
 
 
-__all__ = ["ZGrabber"]
+__all__ = ["ZGrabber", "FAILURE_REASONS"]

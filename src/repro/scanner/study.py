@@ -30,6 +30,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
+from ..faults.plan import ImpairmentPlan
+from ..faults.retry import RetryPolicy
 from ..hosting.ecosystem import Ecosystem
 from ..netsim.clock import HOUR
 from .datastore import (
@@ -72,10 +74,23 @@ class StudyConfig:
     shards: int = 1
     workers: int = 1
     stream_dir: Optional[str] = None
+    # Resilience knobs (see repro.faults).  ``chaos`` is a repro-chaos/1
+    # profile dict compiled per shard into an ImpairmentPlan; ``retry``
+    # is the grabber's RetryPolicy.  Both default to "off": no plan, one
+    # attempt, no breaker — the historical scanner behavior, so the
+    # golden-digest corpus is unchanged.
+    chaos: Optional[dict] = None
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.days <= 0:
             raise ValueError(f"days must be positive, got {self.days}")
+        if self.chaos is not None:
+            # Compile once to fail fast on a malformed profile (shards
+            # recompile their own copy; plans are cheap).
+            ImpairmentPlan.from_profile(self.chaos)
+        if isinstance(self.retry, dict):  # checkpoint round-trips
+            self.retry = RetryPolicy(**self.retry)
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.workers < 1:
@@ -172,6 +187,8 @@ def run_study(
     stream_dir: Optional[str] = None,
     telemetry_dir: Optional[str] = None,
     shard_progress: Optional[Callable[[int, int, int, int], None]] = None,
+    resume: bool = False,
+    fail_fast: bool = False,
 ) -> StudyDataset:
     """Run the full measurement study against ``ecosystem``.
 
@@ -179,7 +196,11 @@ def run_study(
     :class:`StudyConfig` fields.  With ``shards > 1`` the population
     is partitioned deterministically and the passed ecosystem is used
     only as the template for per-shard views (it is left untouched);
-    output is byte-identical for any ``workers`` value.
+    output is byte-identical for any ``workers`` value.  ``resume``
+    continues a killed streamed run from its ``stream_dir`` checkpoint
+    (see :mod:`repro.scanner.checkpoint`); ``fail_fast`` aborts the
+    whole study on the first shard failure instead of letting sibling
+    shards finish and checkpoint.
     """
     dataset, _ = run_study_with_stats(
         ecosystem,
@@ -190,6 +211,8 @@ def run_study(
         stream_dir=stream_dir,
         telemetry_dir=telemetry_dir,
         shard_progress=shard_progress,
+        resume=resume,
+        fail_fast=fail_fast,
     )
     return dataset
 
@@ -204,6 +227,8 @@ def run_study_with_stats(
     stream_dir: Optional[str] = None,
     telemetry_dir: Optional[str] = None,
     shard_progress: Optional[Callable[[int, int, int, int], None]] = None,
+    resume: bool = False,
+    fail_fast: bool = False,
 ) -> tuple[StudyDataset, StudyStats]:
     """Like :func:`run_study` but also returns a :class:`StudyStats`.
 
@@ -221,6 +246,8 @@ def run_study_with_stats(
         shards=shards,
         stream_dir=stream_dir,
         telemetry_dir=telemetry_dir,
+        resume=resume,
+        fail_fast=fail_fast,
     )
 
 

@@ -1,0 +1,224 @@
+"""Impairment-plan unit tests: validation, scoping, and — the load-
+bearing property — pure-function determinism of every hook."""
+
+import pytest
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    PROFILE_SCHEMA,
+    ImpairmentMatch,
+    ImpairmentPlan,
+    ImpairmentWindow,
+    seeded_profile,
+)
+from repro.netsim.clock import DAY, HOUR
+
+
+def _plan(*windows, seed=7):
+    return ImpairmentPlan(windows=tuple(windows), seed=seed)
+
+
+class TestWindowValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown impairment kind"):
+            ImpairmentWindow(kind="meteor", start=0.0, end=DAY)
+
+    def test_end_must_follow_start(self):
+        with pytest.raises(ValueError, match="must be after"):
+            ImpairmentWindow(kind="outage", start=DAY, end=DAY)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            ImpairmentWindow(kind="outage", start=0.0, end=DAY, rate=1.5)
+
+    def test_down_fraction_bounds(self):
+        with pytest.raises(ValueError, match="down_fraction"):
+            ImpairmentWindow(
+                kind="flap", start=0.0, end=DAY, down_fraction=-0.1
+            )
+
+    def test_active_is_half_open(self):
+        window = ImpairmentWindow(kind="outage", start=HOUR, end=2 * HOUR)
+        assert not window.active(HOUR - 1)
+        assert window.active(HOUR)
+        assert window.active(2 * HOUR - 1)
+        assert not window.active(2 * HOUR)
+
+
+class TestMatchScoping:
+    def test_empty_match_matches_everything(self):
+        match = ImpairmentMatch()
+        assert match.match_all
+        assert match.matches("anything.example", "10.0.0.1")
+
+    def test_domain_suffix_scopes_per_provider(self):
+        match = ImpairmentMatch(domain_suffix=".cf-proxied.example")
+        assert match.matches("site1.cf-proxied.example")
+        assert not match.matches("site1.wordpress-like.example")
+
+    def test_ip_prefix_scopes_by_address(self):
+        match = ImpairmentMatch(ip_prefix="10.1.")
+        assert match.matches("", "10.1.2.3")
+        assert not match.matches("", "10.2.0.1")
+
+    def test_unknown_match_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown match keys"):
+            ImpairmentMatch.from_dict({"domain": "x"})
+
+
+class TestPlanDeterminism:
+    """Every hook must be a pure function of (seed, window, target, time)."""
+
+    def _outage_plan(self, seed=7):
+        return _plan(
+            ImpairmentWindow(kind="outage", start=0.0, end=DAY, rate=0.5),
+            seed=seed,
+        )
+
+    def test_connect_fault_is_reproducible(self):
+        targets = [f"site{i}.example" for i in range(50)]
+        first = [
+            self._outage_plan().connect_fault(HOUR, "10.0.0.1", 443, t)
+            for t in targets
+        ]
+        second = [
+            self._outage_plan().connect_fault(HOUR, "10.0.0.1", 443, t)
+            for t in targets
+        ]
+        assert first == second
+        # rate=0.5 should hit a nontrivial subset, not everything.
+        hit = [fault for fault in first if fault is not None]
+        assert 0 < len(hit) < len(targets)
+        assert all(fault == ("outage", 0.0) for fault in hit)
+
+    def test_seed_changes_affected_subset(self):
+        targets = [f"site{i}.example" for i in range(100)]
+        a = [self._outage_plan(1).connect_fault(0.0, "", 443, t) for t in targets]
+        b = [self._outage_plan(2).connect_fault(0.0, "", 443, t) for t in targets]
+        assert a != b
+
+    def test_outage_is_stable_for_whole_window(self):
+        plan = self._outage_plan()
+        down = [
+            t for t in (f"site{i}.example" for i in range(30))
+            if plan.connect_fault(0.0, "", 443, t)
+        ]
+        for hour in range(24):
+            now_down = [
+                t for t in (f"site{i}.example" for i in range(30))
+                if plan.connect_fault(hour * HOUR, "", 443, t)
+            ]
+            assert now_down == down
+
+    def test_latency_rerolls_per_slot(self):
+        plan = _plan(ImpairmentWindow(
+            kind="latency", start=0.0, end=DAY, rate=0.3,
+            delay_seconds=20.0, period_seconds=HOUR,
+        ))
+        target = "slow.example"
+        by_slot = [
+            plan.connect_fault(slot * HOUR + 1, "", 443, target) is not None
+            for slot in range(24)
+        ]
+        # Intermittent: some slots impaired, some clean.
+        assert any(by_slot) and not all(by_slot)
+        # Within one slot the answer never changes.
+        assert (
+            plan.connect_fault(1.0, "", 443, target)
+            == plan.connect_fault(HOUR - 1, "", 443, target)
+        )
+
+    def test_outage_wins_over_latency(self):
+        plan = _plan(
+            ImpairmentWindow(kind="outage", start=0.0, end=DAY, rate=1.0),
+            ImpairmentWindow(kind="latency", start=0.0, end=DAY, rate=1.0),
+        )
+        assert plan.connect_fault(0.0, "10.0.0.1", 443, "x.example") == (
+            "outage", 0.0,
+        )
+
+    def test_live_backends_deterministic_and_partial(self):
+        plan = _plan(ImpairmentWindow(
+            kind="flap", start=0.0, end=DAY, down_fraction=0.5,
+            period_seconds=HOUR,
+        ))
+        live = plan.live_backends(30.0, "10.0.0.1", 443, 64)
+        assert live == plan.live_backends(30.0, "10.0.0.1", 443, 64)
+        assert 0 < len(live) < 64
+        assert live == sorted(live)
+
+    def test_nxdomain_scoped_by_name(self):
+        plan = _plan(ImpairmentWindow(
+            kind="nxdomain", start=0.0, end=DAY, rate=1.0,
+            match=ImpairmentMatch(domains=("gone.example",)),
+        ))
+        assert plan.nxdomain(0.0, "gone.example")
+        assert not plan.nxdomain(0.0, "here.example")
+        assert not plan.nxdomain(DAY + 1, "gone.example")
+
+    def test_handshake_fault_kinds(self):
+        plan = _plan(ImpairmentWindow(kind="reset", start=0.0, end=DAY, rate=1.0))
+        assert plan.handshake_fault(0.0, "10.0.0.1", 443, "x.example") == "reset"
+        assert plan.handshake_fault(DAY + 1, "10.0.0.1", 443, "x.example") is None
+
+    def test_inactive_plan_is_silent(self):
+        plan = _plan(
+            ImpairmentWindow(kind="outage", start=DAY, end=2 * DAY, rate=1.0)
+        )
+        assert plan.connect_fault(0.0, "10.0.0.1", 443, "x.example") is None
+        assert plan.live_backends(0.0, "10.0.0.1", 443, 4) is None
+        assert not plan.nxdomain(0.0, "x.example")
+
+
+class TestProfileSerialization:
+    def test_round_trip(self):
+        plan = _plan(
+            ImpairmentWindow(
+                kind="latency", start=0.5 * DAY, end=DAY, rate=0.2,
+                delay_seconds=15.0, period_seconds=600.0,
+                match=ImpairmentMatch(domain_suffix=".slow.example"),
+            ),
+            ImpairmentWindow(kind="outage", start=0.0, end=HOUR, rate=0.7),
+            seed=42,
+        )
+        again = ImpairmentPlan.from_profile(plan.to_profile())
+        assert again == plan
+
+    def test_unsupported_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported chaos profile schema"):
+            ImpairmentPlan.from_profile({"schema": "repro-chaos/999"})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile keys"):
+            ImpairmentPlan.from_profile({"schema": PROFILE_SCHEMA, "chaos": 1})
+        with pytest.raises(ValueError, match="unknown window keys"):
+            ImpairmentPlan.from_profile({
+                "schema": PROFILE_SCHEMA,
+                "windows": [{"kind": "outage", "start_day": 0,
+                             "end_day": 1, "jitter": 2}],
+            })
+
+    def test_missing_required_window_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            ImpairmentPlan.from_profile({
+                "schema": PROFILE_SCHEMA,
+                "windows": [{"kind": "outage", "start_day": 0}],
+            })
+
+
+class TestSeededProfile:
+    def test_same_seed_same_profile(self):
+        assert seeded_profile(11, 14) == seeded_profile(11, 14)
+        assert seeded_profile(11, 14) != seeded_profile(12, 14)
+
+    def test_compiles_and_covers_all_kinds(self):
+        profile = seeded_profile(3, 14)
+        plan = ImpairmentPlan.from_profile(profile)
+        kinds = {window.kind for window in plan.windows}
+        assert kinds == set(FAULT_KINDS)
+        for window in plan.windows:
+            assert 0.0 <= window.start < window.end <= 14 * DAY + DAY
+
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(ValueError, match="days must be positive"):
+            seeded_profile(1, 0)

@@ -1,0 +1,103 @@
+"""RetryPolicy and CircuitBreaker unit tests."""
+
+import pytest
+
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    RETRYABLE_REASONS,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_default_policy_is_noop(self):
+        assert DEFAULT_RETRY_POLICY.max_attempts == 1
+        assert DEFAULT_RETRY_POLICY.breaker_threshold == 0
+        assert not DEFAULT_RETRY_POLICY.enabled
+
+    def test_enabled_flags(self):
+        assert RetryPolicy(max_attempts=2).enabled
+        assert RetryPolicy(breaker_threshold=3).enabled
+        assert not RetryPolicy().enabled
+
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_seconds=2.0,
+            backoff_multiplier=2.0, max_delay_seconds=10.0,
+        )
+        assert [policy.backoff_delay(n) for n in range(1, 6)] == [
+            2.0, 4.0, 8.0, 10.0, 10.0,
+        ]
+
+    def test_backoff_attempts_are_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().backoff_delay(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_seconds": 0.0},
+        {"backoff_multiplier": 0.5},
+        {"max_delay_seconds": 1.0, "base_delay_seconds": 2.0},
+        {"retry_budget": -1},
+        {"breaker_threshold": -1},
+        {"breaker_cooldown_seconds": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_retryable_reasons_are_substrate_noise_only(self):
+        assert "connect_timeout" in RETRYABLE_REASONS
+        assert "outage" in RETRYABLE_REASONS
+        # Deliberate server answers are never retried.
+        assert "nxdomain" not in RETRYABLE_REASONS
+        assert "handshake" not in RETRYABLE_REASONS
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_seconds=60.0)
+        assert breaker.record("a.example", False, 0.0) is None
+        assert breaker.record("a.example", False, 1.0) is None
+        assert breaker.record("a.example", False, 2.0) == "opened"
+        assert not breaker.allow("a.example", 3.0)
+        assert breaker.open_count == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_seconds=60.0)
+        breaker.record("a.example", False, 0.0)
+        breaker.record("a.example", True, 1.0)
+        assert breaker.record("a.example", False, 2.0) is None
+        assert breaker.allow("a.example", 3.0)
+
+    def test_half_open_trial_after_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=60.0)
+        assert breaker.record("a.example", False, 0.0) == "opened"
+        assert not breaker.allow("a.example", 59.0)
+        # Cooldown elapsed: one trial allowed; success closes.
+        assert breaker.allow("a.example", 61.0)
+        assert breaker.record("a.example", True, 61.0) == "closed"
+        assert breaker.allow("a.example", 62.0)
+        assert breaker.open_count == 0
+
+    def test_half_open_failure_reopens_immediately(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_seconds=60.0)
+        breaker.record("a.example", False, 0.0)
+        assert breaker.record("a.example", False, 1.0) == "opened"
+        assert breaker.allow("a.example", 100.0)
+        # The single half-open failure reopens — no second chance.
+        assert breaker.record("a.example", False, 100.0) == "opened"
+        assert not breaker.allow("a.example", 101.0)
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=60.0)
+        breaker.record("a.example", False, 0.0)
+        assert not breaker.allow("a.example", 1.0)
+        assert breaker.allow("b.example", 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0, cooldown_seconds=60.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=1, cooldown_seconds=0.0)

@@ -76,3 +76,29 @@ def test_names_and_len():
     zone.add_a("a.example", A2)
     assert zone.names() == ["a.example", "b.example"]
     assert len(zone) == 2
+
+
+def test_installed_nxdomain_window_hides_existing_names():
+    from repro.faults.plan import (
+        ImpairmentMatch,
+        ImpairmentPlan,
+        ImpairmentWindow,
+    )
+
+    zone = DNSZone()
+    zone.add_a("gone.example", A1)
+    zone.add_a("here.example", A2)
+    plan = ImpairmentPlan(windows=(
+        ImpairmentWindow(
+            kind="nxdomain", start=0.0, end=100.0, rate=1.0,
+            match=ImpairmentMatch(domains=("gone.example",)),
+        ),
+    ))
+    now = 0.0
+    zone.install_impairments(plan, lambda: now)
+    with pytest.raises(NXDomainError):
+        zone.resolve_all("gone.example")
+    assert zone.resolve_all("here.example") == [A2]
+    # Outside the window the name comes back.
+    now = 200.0
+    assert zone.resolve_all("gone.example") == [A1]

@@ -6,7 +6,12 @@ from helpers import make_rig
 
 from repro.crypto.rng import DeterministicRandom
 from repro.netsim.address import IPv4Address
-from repro.netsim.network import ConnectTimeout, Endpoint, Network
+from repro.netsim.network import (
+    ConnectTimeout,
+    Endpoint,
+    Network,
+    NoLiveBackend,
+)
 
 IP = IPv4Address.parse("10.0.0.1")
 OTHER = IPv4Address.parse("10.0.0.2")
@@ -101,3 +106,66 @@ def test_endpoint_lookup():
     assert network.endpoint_at(OTHER) is None
     assert len(network) == 1
     assert network.endpoints() == [endpoint]
+
+
+# -- failure determinism and classification ---------------------------------
+
+
+def _failure_sequence(seed, failure_rate, attempts=300):
+    """Which of ``attempts`` identical connects fail, as a bool list."""
+    network = Network(DeterministicRandom(seed), failure_rate=failure_rate)
+    network.register(Endpoint(ip=IP, backends=[server()]))
+    out = []
+    for _ in range(attempts):
+        try:
+            network.connect(IP)
+            out.append(False)
+        except ConnectTimeout:
+            out.append(True)
+    return out
+
+
+def test_same_seed_and_rate_give_identical_failure_sequence():
+    first = _failure_sequence(seed=11, failure_rate=0.25)
+    second = _failure_sequence(seed=11, failure_rate=0.25)
+    assert first == second
+    assert any(first) and not all(first)
+
+
+def test_different_seed_changes_failure_sequence():
+    assert _failure_sequence(11, 0.25) != _failure_sequence(12, 0.25)
+
+
+def test_timeout_reasons_label_the_taxonomy():
+    network = make_network()
+    network.register(Endpoint(ip=IP, backends=[]))
+    with pytest.raises(ConnectTimeout) as unroutable:
+        network.connect(OTHER)
+    assert unroutable.value.reason == "connect_timeout"
+    with pytest.raises(NoLiveBackend) as dead:
+        network.connect(IP)
+    assert dead.value.reason == "no_backend"
+    # NoLiveBackend is still a ConnectTimeout, so legacy handlers that
+    # catch the base class keep working.
+    assert isinstance(dead.value, ConnectTimeout)
+
+
+def test_pick_backend_live_restriction():
+    rng = DeterministicRandom(3)
+    a, b, c = server(), server(), server()
+    endpoint = Endpoint(ip=IP, backends=[a, b, c], affinity=False)
+    assert endpoint.pick_backend(rng, live=[2]) is c
+    with pytest.raises(NoLiveBackend):
+        endpoint.pick_backend(rng, live=[])
+
+
+def test_no_affinity_spray_is_roughly_uniform():
+    rng = DeterministicRandom(17)
+    backends = [server() for _ in range(4)]
+    endpoint = Endpoint(ip=IP, backends=backends, affinity=False)
+    counts = {id(backend): 0 for backend in backends}
+    for _ in range(4000):
+        counts[id(endpoint.pick_backend(rng))] += 1
+    # ~1000 each; a skewed balancer would break the paper's §4.3
+    # STEK-span jitter model.
+    assert all(800 < count < 1200 for count in counts.values())

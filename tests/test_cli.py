@@ -133,3 +133,114 @@ def test_study_rejects_telemetry_dir_equal_to_out(tmp_path, capsys):
     ])
     assert code == 2
     assert "must not be the dataset" in capsys.readouterr().err
+
+
+# --- chaos, retries, and resume -----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def chaos_run(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli-chaos")
+    out, telemetry = root / "data", root / "telemetry"
+    code = main([
+        "study", "--days", "2", "--out", str(out),
+        "--stream-dir", str(out), "--shards", "2",
+        "--chaos", "7", "--retries", "2", "--breaker-threshold", "4",
+        "--telemetry-dir", str(telemetry), "-q",
+    ] + ECO_ARGS)
+    assert code == 0
+    return out, telemetry
+
+
+def test_chaos_study_writes_dataset_without_checkpoint_residue(chaos_run):
+    out, _ = chaos_run
+    assert (out / "meta.json").exists()
+    assert not (out / "checkpoint").exists()
+
+
+def test_stats_show_failure_and_retry_sections(chaos_run, capsys):
+    _, telemetry = chaos_run
+    assert main(["stats", str(telemetry)]) == 0
+    report = capsys.readouterr().out
+    assert "failure breakdown:" in report
+    assert "retry/backoff:" in report
+    assert "mean attempts per grab" in report
+
+
+def test_prometheus_exposes_failure_reasons(chaos_run, capsys):
+    _, telemetry = chaos_run
+    assert main(["stats", str(telemetry), "--prometheus"]) == 0
+    exposition = capsys.readouterr().out
+    assert "repro_scanner_grab_failure_total{reason=" in exposition
+    assert "repro_scanner_grab_attempts_per_grab" in exposition
+
+
+def test_bad_chaos_profile_exits_2(tmp_path, capsys):
+    profile = tmp_path / "bad.json"
+    profile.write_text('{"schema": "repro-chaos/999"}')
+    code = main([
+        "study", "--days", "2", "--out", str(tmp_path / "o"),
+        "--chaos-profile", str(profile),
+    ] + ECO_ARGS)
+    assert code == 2
+    assert "bad chaos profile" in capsys.readouterr().err
+
+
+def test_bad_retry_policy_exits_2(tmp_path, capsys):
+    code = main([
+        "study", "--days", "2", "--out", str(tmp_path / "o"),
+        "--retries", "2", "--retry-budget", "-1",
+    ] + ECO_ARGS)
+    assert code == 2
+    assert "bad retry policy" in capsys.readouterr().err
+
+
+def test_resume_without_checkpoint_exits_2(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    code = main([
+        "study", "--days", "2", "--out", str(tmp_path / "o"),
+        "--resume", str(empty),
+    ] + ECO_ARGS)
+    assert code == 2
+    assert "cannot resume" in capsys.readouterr().err
+
+
+def test_resume_refuses_conflicting_flags(tmp_path, capsys):
+    out = str(tmp_path / "o")
+    assert main(["study", "--out", out, "--resume", str(tmp_path),
+                 "--chaos", "3"] + ECO_ARGS) == 2
+    assert "drop --chaos" in capsys.readouterr().err
+    assert main(["study", "--out", out, "--resume", str(tmp_path),
+                 "--stream-dir", str(tmp_path / "elsewhere")] + ECO_ARGS) == 2
+    assert "would split the run" in capsys.readouterr().err
+
+
+def test_resume_continues_a_partial_run(tmp_path, capsys):
+    """Seed a one-of-two-shards checkpoint, then finish it via --resume."""
+    import os
+
+    from repro.hosting import EcosystemConfig, build_ecosystem
+    from repro.scanner import CheckpointStore, StudyConfig
+    from repro.scanner.checkpoint import checkpoint_fingerprint
+    from repro.scanner.engine import run_shard
+
+    stream = str(tmp_path / "stream")
+    config = StudyConfig(
+        days=2, probe_domain_count=40, dhe_support_day=1,
+        ecdhe_support_day=1, ticket_support_day=1, crossdomain_day=1,
+        session_probe_day=1, ticket_probe_day=1, shards=2,
+    )
+    ecosystem_config = EcosystemConfig(population=420, seed=3)
+    store = CheckpointStore(stream)
+    store.reset(checkpoint_fingerprint(config, ecosystem_config, 2))
+    store.save_shard(run_shard(
+        build_ecosystem(ecosystem_config), config, shard_id=0, shard_count=2,
+        stream_dir=os.path.join(stream, "shards", "00"),
+    ))
+
+    out = str(tmp_path / "final")
+    assert main(["study", "--resume", stream, "--out", out, "-q"]) == 0
+    assert "dataset saved" in capsys.readouterr().out
+    assert os.path.exists(os.path.join(out, "meta.json"))
+    assert not os.path.exists(os.path.join(stream, "checkpoint"))
