@@ -3,92 +3,80 @@
 (session caches, STEKs, Diffie-Hellman values) — the paper's §5 —
 and render the Figure 6/7-style treemaps.
 
-Run:  python examples/service_group_explorer.py  (takes ~1 minute)
+The support scans, 30-minute scans, and cross-domain probes all run as
+one streamed study; the shared-state analysis then comes straight out
+of the streaming engine's ``stek_groups``/``cache_groups`` aggregates
+(union-find over shared identifiers and probe edges).
+
+Run:  python examples/service_group_explorer.py  (takes ~1-2 minutes;
+set REPRO_EXAMPLE_QUICK=1 for a smaller ~30 s variant, as CI does)
 """
 
-from repro import EcosystemConfig, build_ecosystem, core
-from repro.crypto.rng import DeterministicRandom
+import os
+import shutil
+import tempfile
+
+from repro import EcosystemConfig, StudyConfig, build_ecosystem, core
+from repro.analysis import analyze
 from repro.figures import layout_treemap, render_treemap, severity_histogram
 from repro.netsim.clock import DAY
-from repro.scanner import (
-    CrossDomainConfig,
-    ProbeTarget,
-    SweepConfig,
-    ZGrabber,
-    cross_domain_cache_probe,
-    sweep,
-    thirty_minute_scan,
-)
+from repro.scanner import run_study
+
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+STUDY_DAYS = 4 if QUICK else 7
+POPULATION = 330 if QUICK else 460
 
 
 def main() -> None:
-    ecosystem = build_ecosystem(EcosystemConfig(population=460, seed=5))
-    grabber = ZGrabber(ecosystem, DeterministicRandom(55))
-    today = ecosystem.alexa_list()
-
-    print("10-connection STEK scan…")
-    support = sweep(grabber, today, SweepConfig(connections_per_domain=10,
-                                                window_seconds=6 * 3600))
-    thirty = thirty_minute_scan(grabber, today)
-
-    domain_asn, as_names = {}, {}
-    for autonomous_system in ecosystem.as_registry.all_systems():
-        as_names[autonomous_system.asn] = autonomous_system.name
-    targets = []
-    for rank, name in today:
-        try:
-            address = ecosystem.dns.resolve_all(name)[0]
-        except KeyError:
-            continue
-        autonomous_system = ecosystem.as_registry.lookup(address)
-        if autonomous_system:
-            domain_asn[name] = autonomous_system.asn
-        targets.append(ProbeTarget(name, str(address),
-                                   autonomous_system.asn if autonomous_system else None))
-
-    stek_groups = core.groups_from_shared_identifiers(
-        [support, thirty], "stek", domain_asn, as_names
+    ecosystem = build_ecosystem(EcosystemConfig(population=POPULATION, seed=5))
+    config = StudyConfig(
+        days=STUDY_DAYS, probe_domain_count=60,
+        dhe_support_day=1, ecdhe_support_day=1, ticket_support_day=1,
+        crossdomain_day=2, session_probe_day=2, ticket_probe_day=2,
     )
-    print()
-    print(core.render_largest_groups(stek_groups, "Table 6-style: largest STEK service groups"))
+    workdir = tempfile.mkdtemp(prefix="group-explorer-")
+    try:
+        print(f"streaming a {STUDY_DAYS}-day study over "
+              f"{len(ecosystem.active_domains())} domains "
+              f"(10-connection STEK scans, cross-domain probes)…")
+        run_study(ecosystem, config, stream_dir=workdir)
+        result = analyze(workdir)
 
-    print("\ncross-domain session-cache probe (≤5 same-AS + ≤5 same-IP peers)…")
-    edges = cross_domain_cache_probe(
-        grabber, targets, DeterministicRandom(66), CrossDomainConfig()
-    )
-    cache_groups = core.groups_from_edges(
-        edges, [t.domain for t in targets], domain_asn, as_names
-    )
-    print()
-    print(core.render_largest_groups(cache_groups, "Table 5-style: largest session-cache groups"))
+        stek_groups = result.outputs["stek_groups"]
+        print()
+        print(core.render_largest_groups(
+            stek_groups, "Table 6-style: largest STEK service groups"))
 
-    # Figure 6-style treemap: group size × STEK longevity.  Longevity
-    # here comes from a few more daily scans.
-    print("\nrunning 6 more daily scans to estimate STEK longevity…")
-    daily = list(support)
-    for _ in range(6):
-        ecosystem.advance_days(1)
-        daily.extend(sweep(grabber, ecosystem.alexa_list(),
-                           SweepConfig(window_seconds=3600)))
-    spans = core.stek_spans(daily)
-    group_rows = []
-    for group in stek_groups.groups:
-        if len(group) < 2:
-            continue
-        member_spans = [
-            spans[d].max_span_days * DAY for d in group.domains if d in spans
-        ]
-        if not member_spans:
-            continue
-        member_spans.sort()
-        median = member_spans[len(member_spans) // 2]
-        group_rows.append((group.label or "?", len(group), median))
-    cells = layout_treemap(group_rows)
-    print()
-    print(render_treemap(cells, title="Figure 6-style: STEK sharing x longevity"))
-    print(f"\ndomains by severity: {severity_histogram(cells)}")
-    print("(a 7-day window under-detects the 30+ day red class; the "
-          "benchmark harness runs the full 63 days)")
+        cache_groups = result.outputs["cache_groups"]
+        print()
+        print(core.render_largest_groups(
+            cache_groups, "Table 5-style: largest session-cache groups"))
+
+        # Figure 6-style treemap: group size × STEK longevity, with
+        # longevity taken from the daily channel's identifier spans.
+        spans = result.spans("stek_spans")
+        group_rows = []
+        for group in stek_groups.groups:
+            if len(group) < 2:
+                continue
+            member_spans = [
+                spans[d].max_span_days * DAY
+                for d in group.domains if d in spans
+            ]
+            if not member_spans:
+                continue
+            member_spans.sort()
+            median = member_spans[len(member_spans) // 2]
+            group_rows.append((group.label or "?", len(group), median))
+        cells = layout_treemap(group_rows)
+        print()
+        print(render_treemap(
+            cells, title="Figure 6-style: STEK sharing x longevity"))
+        print(f"\ndomains by severity: {severity_histogram(cells)}")
+        print(f"(a {STUDY_DAYS}-day window under-detects the 30+ day red "
+              "class; the benchmark harness runs the full 63 days)")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
 
 
 if __name__ == "__main__":

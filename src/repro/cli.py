@@ -38,7 +38,6 @@ import os
 import sys
 from typing import Optional
 
-from . import core
 from .crypto.rng import DeterministicRandom
 from .faults import ImpairmentPlan, RetryPolicy, seeded_profile
 from .hosting import EcosystemConfig, build_ecosystem
@@ -299,88 +298,51 @@ def _load(directory: str):
     return load_dataset(directory)
 
 
+def _analysis_result(args):
+    """Run the streaming analysis engine per the report/audit flags."""
+    from .analysis import analyze
+
+    result = analyze(
+        args.dataset,
+        workers=max(args.workers, 1),
+        use_cache=not args.no_cache,
+    )
+    log.info(
+        "analysis: %d chunks (%d cached, %d folded) over %d channels "
+        "with %d worker(s) in %.2fs",
+        result.chunks, result.cache_hits, result.cache_misses,
+        len(result.channel_rows), result.workers, result.elapsed_seconds,
+    )
+    return result
+
+
 def cmd_report(args) -> int:
-    dataset = _load(args.dataset)
-    always = set(dataset.always_present)
+    from .analysis import (
+        render_report,
+        report_inputs_from_analysis,
+        report_inputs_from_dataset,
+    )
 
-    sections = []
-    if dataset.ticket_support:
-        trusted = {
-            o.domain for o in dataset.ticket_support
-            if o.success and o.cert_trusted
-        }
-        if dataset.dhe_support:
-            sections.append(core.support_waterfall(
-                dataset.dhe_support, "dhe", *dataset.list_sizes["dhe"],
-                trusted_domains=trusted))
-        if dataset.ecdhe_support:
-            sections.append(core.support_waterfall(
-                dataset.ecdhe_support, "ecdhe", *dataset.list_sizes["ecdhe"],
-                trusted_domains=trusted))
-        sections.append(core.support_waterfall(
-            dataset.ticket_support, "ticket", *dataset.list_sizes["ticket"]))
-        print(core.render_waterfalls(sections))
-
-    spans = core.stek_spans(dataset.ticket_daily, always)
-    print(core.render_top_reuse(
-        core.top_reuse_rows(spans, dataset.ranks, min_days=args.min_days),
-        f"Top domains with prolonged STEK reuse (>= {args.min_days} days)"))
-    print()
-    dhe = core.kex_spans(dataset.dhe_daily, always, kind="dhe")
-    print(core.render_top_reuse(
-        core.top_reuse_rows(dhe, dataset.ranks, min_days=args.min_days),
-        f"Top domains with prolonged DHE reuse (>= {args.min_days} days)"))
-    print()
-    ecdhe = core.kex_spans(dataset.ecdhe_daily, always, kind="ecdhe")
-    print(core.render_top_reuse(
-        core.top_reuse_rows(ecdhe, dataset.ranks, min_days=args.min_days),
-        f"Top domains with prolonged ECDHE reuse (>= {args.min_days} days)"))
-
-    if dataset.cache_edges or dataset.crossdomain_targets:
-        print()
-        cache_groups = core.groups_from_edges(
-            dataset.cache_edges, dataset.crossdomain_targets,
-            dataset.domain_asn, dataset.as_names)
-        print(core.render_largest_groups(
-            cache_groups, "Largest session cache service groups"))
-    if dataset.ticket_support:
-        print()
-        stek_groups = core.groups_from_shared_identifiers(
-            [dataset.ticket_support, dataset.ticket_30min], "stek",
-            dataset.domain_asn, dataset.as_names)
-        print(core.render_largest_groups(
-            stek_groups, "Largest STEK service groups"))
+    if args.legacy:
+        inputs = report_inputs_from_dataset(_load(args.dataset))
+    else:
+        inputs = report_inputs_from_analysis(_analysis_result(args))
+    print(render_report(inputs, min_days=args.min_days))
     return 0
 
 
 def cmd_audit(args) -> int:
-    from .core.mitigations import evaluate_mitigations, render_mitigation_report
-
-    dataset = _load(args.dataset)
-    always = set(dataset.always_present)
-    windows = core.combine_windows(
-        stek_spans_by_domain=core.stek_spans(dataset.ticket_daily, always),
-        session_lifetimes=core.session_lifetime_by_domain(dataset.session_probes),
-        dhe_spans_by_domain=core.kex_spans(dataset.dhe_daily, always, kind="dhe"),
-        ecdhe_spans_by_domain=core.kex_spans(dataset.ecdhe_daily, always, kind="ecdhe"),
+    from .analysis import (
+        audit_inputs_from_analysis,
+        audit_inputs_from_dataset,
+        render_audit,
     )
-    summary = core.summarize_exposure(windows)
-    print(core.render_exposure_summary(summary))
-    print()
-    estimates = core.estimate_rotation(dataset.ticket_daily, always)
-    print("inferred STEK rotation policies:",
-          core.rotation_policy_histogram(estimates))
-    print()
-    print(render_mitigation_report(evaluate_mitigations(windows)))
-    if args.worst:
-        print()
-        print(f"{'rank':>6}  {'domain':<34} {'window':>8}  mechanism")
-        worst = sorted(windows.values(), key=lambda w: -w.combined)[: args.worst]
-        for window in worst:
-            rank = dataset.ranks.get(window.domain, 0)
-            print(f"{rank:>6}  {window.domain:<34} "
-                  f"{core.describe_window(window.combined):>8}  "
-                  f"{window.dominant_mechanism}")
+
+    if args.legacy:
+        inputs = audit_inputs_from_dataset(_load(args.dataset))
+    else:
+        inputs = audit_inputs_from_analysis(_analysis_result(args))
+    print(render_audit(inputs, worst=args.worst))
     return 0
 
 
@@ -439,10 +401,88 @@ def cmd_target(args) -> int:
     return 0
 
 
+def _escape_cell(text: str) -> str:
+    return " ".join((text or "").split()).replace("|", "\\|")
+
+
+def render_cli_table(parser: argparse.ArgumentParser) -> str:
+    """The README CLI reference, generated from the argparse tree.
+
+    One markdown table covering every subcommand and flag, so the
+    documented interface can never drift from the implemented one —
+    the ``docs-check`` CI job diffs this output against README.md.
+    """
+    lines = [
+        "| Command | Option | Default | Description |",
+        "| --- | --- | --- | --- |",
+    ]
+    sub_action = next(
+        a for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    )
+    command_help = {
+        pseudo.dest: pseudo.help or ""
+        for pseudo in sub_action._choices_actions
+    }
+    shared: list[tuple[str, str, str]] = []
+    for name, sub in sub_action.choices.items():
+        lines.append(
+            f"| `{name}` |  |  | {_escape_cell(command_help.get(name, ''))} |"
+        )
+        for action in sub._actions:
+            if isinstance(action, argparse._HelpAction):
+                continue
+            if action.option_strings:
+                display = ", ".join(action.option_strings)
+                if action.nargs != 0:
+                    metavar = action.metavar or action.dest.upper()
+                    display = f"{display} {metavar}"
+                if action.default in (None, False):
+                    default = ""
+                elif action.default == 0 and action.nargs == 0:
+                    default = ""
+                else:
+                    default = f"`{action.default}`"
+            else:
+                display = action.dest
+                default = (
+                    f"`{action.default}`" if action.default is not None
+                    else "required"
+                )
+            row = (display, default, _escape_cell(action.help or ""))
+            if action.dest in ("verbose", "quiet"):
+                if row not in shared:
+                    shared.append(row)
+                continue
+            lines.append(f"| | `{row[0]}` | {row[1]} | {row[2]} |")
+    for display, default, help_text in shared:
+        lines.append(
+            f"| *(all commands)* | `{display}` | {default} | {help_text} |"
+        )
+    return "\n".join(lines)
+
+
+class _DocTableAction(argparse.Action):
+    """``--doc-table``: print the generated CLI reference and exit."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs["nargs"] = 0
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(render_cli_table(parser))
+        parser.exit(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TLS crypto-shortcut measurement toolchain (IMC 2016 reproduction)",
+    )
+    parser.add_argument(
+        "--doc-table", action=_DocTableAction,
+        help="print the CLI reference as a markdown table and exit "
+             "(README.md embeds this output; docs-check CI diffs it)",
     )
     # -v/-q live on the subcommands (argparse clobbers same-dest options
     # shared between the main parser and subparsers), via a parent.
@@ -468,7 +508,8 @@ def build_parser() -> argparse.ArgumentParser:
     scan.set_defaults(func=cmd_scan)
 
     study = sub.add_parser("study", help="run the longitudinal study")
-    study.add_argument("--days", type=int, default=14)
+    study.add_argument("--days", type=int, default=14,
+                       help="study length in days (default 14)")
     study.add_argument("--out", required=True, help="dataset output directory")
     study.add_argument("--shards", type=int, default=1,
                        help="deterministic population shards; the only "
@@ -524,15 +565,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "the human-readable report")
     stats.set_defaults(func=cmd_stats)
 
+    def _add_analysis_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="analysis worker processes folding dataset "
+                            "chunks; never affects output (default 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the <dataset>/.analysis/ partial cache "
+                            "(always re-fold every chunk)")
+        p.add_argument("--legacy", action="store_true",
+                       help="use the in-memory reference analysis path "
+                            "instead of the streaming engine (same "
+                            "output, O(dataset) memory)")
+
     report = sub.add_parser("report", help="render tables from a dataset")
     report.add_argument("dataset", help="directory written by `repro study`")
-    report.add_argument("--min-days", type=int, default=7)
+    report.add_argument("--min-days", type=int, default=7,
+                        help="reuse-table threshold in days (default 7)")
+    _add_analysis_arguments(report)
     report.set_defaults(func=cmd_report)
 
     audit = sub.add_parser("audit", help="vulnerability windows + mitigations")
     audit.add_argument("dataset")
     audit.add_argument("--worst", type=int, default=0,
                        help="also list the N most exposed domains")
+    _add_analysis_arguments(audit)
     audit.set_defaults(func=cmd_audit)
 
     bench = sub.add_parser("bench", help="micro + end-to-end performance benchmarks")

@@ -168,8 +168,7 @@ def groups_from_shared_identifiers(
     else:
         raise ValueError(f"unknown identifier kind {identifier!r}")
 
-    uf = UnionFind()
-    owner: dict[str, str] = {}  # identifier -> first domain seen with it
+    identifier_domains: dict[str, list[str]] = {}
     for observations in observation_sets:
         for observation in observations:
             if not observation.success:
@@ -177,11 +176,36 @@ def groups_from_shared_identifiers(
             value = extract(observation)
             if not value:
                 continue
-            uf.add(observation.domain)
-            if value in owner:
-                uf.union(owner[value], observation.domain)
-            else:
-                owner[value] = observation.domain
+            domains = identifier_domains.setdefault(value, [])
+            if observation.domain not in domains:
+                domains.append(observation.domain)
+    return groups_from_identifier_map(
+        identifier_domains, mechanism, domain_asn, as_names
+    )
+
+
+def groups_from_identifier_map(
+    identifier_domains: dict[str, list[str]],
+    mechanism: str,
+    domain_asn: Optional[dict[str, int]] = None,
+    as_names: Optional[dict[int, str]] = None,
+) -> GroupingResult:
+    """Service groups from an identifier -> domains map.
+
+    The map is the natural *mergeable* form of the shared-identifier
+    experiment (the streaming analysis engine folds one per shard and
+    concatenates domain lists); every domain listed under one
+    identifier joins that identifier's group, and groups connected
+    through a common domain merge transitively as usual.
+    """
+    uf = UnionFind()
+    for domains in identifier_domains.values():
+        if not domains:
+            continue
+        owner = domains[0]
+        uf.add(owner)
+        for domain in domains[1:]:
+            uf.union(owner, domain)
     return _label_groups(uf.groups(), mechanism, domain_asn, as_names)
 
 
@@ -191,4 +215,5 @@ __all__ = [
     "GroupingResult",
     "groups_from_edges",
     "groups_from_shared_identifiers",
+    "groups_from_identifier_map",
 ]

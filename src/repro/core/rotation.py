@@ -56,8 +56,24 @@ def estimate_rotation(
         per_domain.setdefault(observation.domain, {})[observation.day] = (
             observation.stek_id
         )
+    return estimates_from_day_keys(per_domain)
+
+
+def estimates_from_day_keys(
+    per_domain: Mapping[str, Mapping[int, str]],
+    domains: Optional[set] = None,
+) -> dict[str, RotationEstimate]:
+    """Rotation estimates from per-domain ``{day: identifier}`` maps.
+
+    The map form is what the streaming analysis engine accumulates per
+    shard (each (domain, day) cell is written by exactly one scan, so
+    shard merges commute); :func:`estimate_rotation` builds the same
+    maps from raw observations and delegates here.
+    """
     estimates: dict[str, RotationEstimate] = {}
     for domain, by_day in per_domain.items():
+        if domains is not None and domain not in domains:
+            continue
         days = sorted(by_day)
         keys = [by_day[d] for d in days]
         distinct = len(set(keys))
@@ -127,5 +143,5 @@ def consistent_with_spans(
     return True
 
 
-__all__ = ["RotationEstimate", "estimate_rotation", "rotation_policy_histogram",
-           "consistent_with_spans"]
+__all__ = ["RotationEstimate", "estimate_rotation", "estimates_from_day_keys",
+           "rotation_policy_histogram", "consistent_with_spans"]

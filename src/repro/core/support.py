@@ -9,7 +9,7 @@ presented the same value.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional
 
 from ..scanner.records import ScanObservation
 
@@ -90,37 +90,63 @@ def support_waterfall(
     if kind not in ("dhe", "ecdhe", "ticket"):
         raise ValueError(f"unknown support kind {kind!r}")
     values, trusted = _per_domain_values(observations, kind)
-    if trusted_domains is not None:
-        browser_trusted = list(trusted_domains)
-        trusted = {domain: True for domain in trusted_domains}
-        # Only domains this scan reached can show supporting values.
-        values = {d: v for d, v in values.items() if d in trusted_domains}
-    else:
-        browser_trusted = [d for d, ok in trusted.items() if ok]
-    supporting = []
-    repeated = []
-    always_same = []
-    for domain in browser_trusted:
-        domain_values = [v for v in values.get(domain, []) if v]
-        if not domain_values:
-            continue
-        supporting.append(domain)
+    tallies: dict[str, dict[str, int]] = {}
+    for domain, domain_values in values.items():
         tally: dict[str, int] = {}
         for value in domain_values:
-            tally[value] = tally.get(value, 0) + 1
+            if value:
+                tally[value] = tally.get(value, 0) + 1
+        tallies[domain] = tally
+    return waterfall_from_tallies(
+        tallies, trusted, kind, list_size, non_blacklisted,
+        trusted_domains=trusted_domains,
+    )
+
+
+def waterfall_from_tallies(
+    tallies: Mapping[str, Mapping[str, int]],
+    trusted: Mapping[str, bool],
+    kind: str,
+    list_size: int,
+    non_blacklisted: int,
+    trusted_domains: Optional[set] = None,
+) -> SupportWaterfall:
+    """Build one Table 1 section from per-domain value tallies.
+
+    ``tallies`` maps every domain that completed at least one
+    connection to its counts of repeated secret values (may be empty
+    for a domain that never presented one); ``trusted`` carries each
+    such domain's browser-trust flag.  This is the aggregated form the
+    streaming analysis engine folds per shard — the per-connection
+    value lists :func:`support_waterfall` sees never need to exist.
+    """
+    if kind not in ("dhe", "ecdhe", "ticket"):
+        raise ValueError(f"unknown support kind {kind!r}")
+    if trusted_domains is not None:
+        browser_trusted = [d for d in trusted_domains]
+        eligible = [d for d in browser_trusted if d in tallies]
+    else:
+        browser_trusted = [d for d, ok in trusted.items() if ok]
+        eligible = browser_trusted
+    supporting = repeated = always_same = 0
+    for domain in eligible:
+        tally = tallies.get(domain)
+        if not tally:
+            continue
+        supporting += 1
         if max(tally.values()) >= 2:
-            repeated.append(domain)
-        if len(tally) == 1 and len(domain_values) >= 2:
-            always_same.append(domain)
+            repeated += 1
+        if len(tally) == 1 and sum(tally.values()) >= 2:
+            always_same += 1
     return SupportWaterfall(
         label=kind,
         list_size=list_size,
         non_blacklisted=non_blacklisted,
         browser_trusted=len(browser_trusted),
-        supporting=len(supporting),
-        repeated_value=len(repeated),
-        always_same_value=len(always_same),
+        supporting=supporting,
+        repeated_value=repeated,
+        always_same_value=always_same,
     )
 
 
-__all__ = ["SupportWaterfall", "support_waterfall"]
+__all__ = ["SupportWaterfall", "support_waterfall", "waterfall_from_tallies"]

@@ -83,7 +83,11 @@ def combine_windows(
     else:
         universe = set(domains)
     windows: dict[str, VulnerabilityWindow] = {}
-    for domain in universe:
+    # Sorted iteration makes the result's dict order (and therefore any
+    # tie-breaking downstream, e.g. `repro audit --worst`) independent
+    # of hash randomization — identical across processes and between
+    # the in-memory and streaming analysis paths.
+    for domain in sorted(universe):
         window = VulnerabilityWindow(domain=domain)
         stek = stek_spans_by_domain.get(domain)
         if stek is not None and stek.ever_observed:

@@ -23,6 +23,7 @@ silently merging shards from two different studies.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
@@ -69,6 +70,18 @@ def study_config_from_dict(data: dict, *, workers: int = 1,
     return StudyConfig(
         **kwargs, retry=retry, workers=workers, stream_dir=stream_dir
     )
+
+
+def fingerprint_digest(payload) -> str:
+    """sha256 hex digest of ``payload``'s canonical JSON form.
+
+    The same canonicalization as :func:`checkpoint_fingerprint` uses for
+    resume validation; the analysis cache (``repro.analysis``) keys its
+    per-chunk partials on these digests so a fingerprint computed before
+    a kill/resume cycle still matches afterwards.
+    """
+    canonical = json.dumps(_normalize(payload), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def checkpoint_fingerprint(study_config, ecosystem_config, shards: int) -> dict:

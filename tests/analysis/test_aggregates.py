@@ -1,0 +1,175 @@
+"""Merge-algebra property tests for every ShardAggregate.
+
+The streaming engine's byte-identity guarantee reduces to three
+properties per aggregate, checked here against a corpus that exercises
+skip paths (failures, absent identifiers, untrusted certs):
+
+* **associativity** — ``merge(merge(a, b), c)`` and
+  ``merge(a, merge(b, c))`` finalize identically, for arbitrary chunk
+  boundaries;
+* **zero identity** — ``merge(zero(), s)`` and ``merge(s, zero())``
+  both finalize like ``s``;
+* **cache round-trip** — a partial state survives JSON serialization
+  (the ``.analysis/`` cache) with dict insertion order intact.
+
+Comparisons run through :func:`canon`, which makes dict *order*
+significant — plain ``==`` would accept reordered states that then
+render different report bytes.
+"""
+
+import copy
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.analysis.aggregates import default_aggregates
+from repro.scanner.records import (
+    CrossDomainEdge,
+    ResumptionProbeResult,
+    ScanObservation,
+)
+
+
+def canon(obj):
+    """Order-sensitive canonical form (dict order becomes list order)."""
+    if isinstance(obj, dict):
+        return [(key, canon(value)) for key, value in obj.items()]
+    if isinstance(obj, (list, tuple)):
+        return [canon(value) for value in obj]
+    return repr(obj)
+
+
+def _obs(i, day, kind, identifier, conn=0):
+    ok = (i + day + conn) % 5 != 0
+    is_ticket = kind == "stek"
+    return asdict(ScanObservation(
+        domain=f"d{i:03d}.test",
+        day=day,
+        timestamp=day * 86400.0 + conn,
+        rank=i + 1,
+        success=ok,
+        kex_kind="ecdhe" if is_ticket else kind,
+        cert_trusted=ok and i % 3 != 0,
+        ticket_issued=ok and is_ticket and i % 7 != 0,
+        stek_id=identifier if ok and is_ticket else None,
+        kex_public=identifier if ok and not is_ticket else None,
+    ))
+
+
+def make_corpus():
+    corpus = {name: [] for name in (
+        "ticket_daily", "dhe_daily", "ecdhe_daily",
+        "ticket_support", "dhe_support", "ecdhe_support",
+        "ticket_30min", "session_probes", "cache_edges",
+    )}
+    for i in range(12):
+        for day in range(9):
+            corpus["ticket_daily"].append(
+                _obs(i, day, "stek", f"stek-{i % 5}-{day // (1 + i % 3)}"))
+            corpus["dhe_daily"].append(
+                _obs(i, day, "dhe", f"dhe-{i}-{day // 2}"))
+            corpus["ecdhe_daily"].append(
+                _obs(i, day, "ecdhe", f"ec-{i}-{day}"))
+        for conn in range(6):
+            shared = f"stek-c{i // 4}" if i % 2 == 0 else f"stek-{i}"
+            corpus["ticket_support"].append(_obs(i, 1, "stek", shared, conn))
+            corpus["dhe_support"].append(
+                _obs(i, 1, "dhe", f"dhe-{i}-s{conn % (1 + i % 2)}", conn))
+            corpus["ecdhe_support"].append(
+                _obs(i, 1, "ecdhe", f"ec-{i}-s", conn))
+        corpus["ticket_30min"].append(_obs(i, 1, "stek", f"stek-{i % 5}-0"))
+        corpus["session_probes"].append(asdict(ResumptionProbeResult(
+            domain=f"d{i:03d}.test",
+            rank=i + 1,
+            handshake_ok=True,
+            issued=i % 4 != 0,
+            max_success_delay=None if i % 4 == 0 else i * 900.0,
+            hit_probe_ceiling=i % 5 == 0,
+        )))
+    for i in range(0, 10, 2):
+        corpus["cache_edges"].append(asdict(CrossDomainEdge(
+            origin=f"d{i:03d}.test", acceptor=f"d{i + 1:03d}.test",
+            via_same_ip=i % 4 == 0, via_same_as=True)))
+    return corpus
+
+
+CORPUS = make_corpus()
+META = {
+    "always_present": sorted({row["domain"] for row in CORPUS["ticket_daily"]}),
+    "crossdomain_targets": [f"d{i:03d}.test" for i in range(12)],
+    "domain_asn": {f"d{i:03d}.test": 64500 + i % 3 for i in range(12)},
+    "as_names": {str(64500 + k): f"AS {k}" for k in range(3)},
+}
+
+
+def segments(agg, cuts=(1, 2)):
+    """The corpus as stream-ordered (channel, rows) chunks."""
+    segs = []
+    for channel in agg.channels:
+        rows = CORPUS[channel]
+        a, b = (len(rows) * cuts[0] // 3), (len(rows) * cuts[1] // 3)
+        for part in (rows[:a], rows[a:b], rows[b:]):
+            segs.append((channel, part))
+    return segs
+
+
+def partials(agg, segs):
+    return [agg.fold(agg.zero(), channel, copy.deepcopy(rows))
+            for channel, rows in segs]
+
+
+def finalized(agg, state):
+    return canon(agg.finalize(copy.deepcopy(state), META))
+
+
+@pytest.mark.parametrize("agg", default_aggregates(), ids=lambda a: a.name)
+@pytest.mark.parametrize("cuts", [(1, 2), (0, 1), (2, 3), (0, 3)])
+def test_merge_is_associative_and_matches_single_pass(agg, cuts):
+    segs = segments(agg, cuts)
+    parts = partials(agg, segs)
+
+    left = copy.deepcopy(parts[0])
+    for part in parts[1:]:
+        left = agg.merge(left, copy.deepcopy(part))
+
+    right = copy.deepcopy(parts[-1])
+    for part in reversed(parts[:-1]):
+        right = agg.merge(copy.deepcopy(part), right)
+
+    whole = agg.zero()
+    for channel, rows in segs:
+        whole = agg.fold(whole, channel, copy.deepcopy(rows))
+
+    assert finalized(agg, left) == finalized(agg, whole)
+    assert finalized(agg, right) == finalized(agg, whole)
+
+
+@pytest.mark.parametrize("agg", default_aggregates(), ids=lambda a: a.name)
+def test_zero_is_a_merge_identity(agg):
+    state = agg.zero()
+    for channel, rows in segments(agg):
+        state = agg.fold(state, channel, copy.deepcopy(rows))
+    reference = finalized(agg, state)
+    assert finalized(
+        agg, agg.merge(agg.zero(), copy.deepcopy(state))) == reference
+    assert finalized(
+        agg, agg.merge(copy.deepcopy(state), agg.zero())) == reference
+
+
+@pytest.mark.parametrize("agg", default_aggregates(), ids=lambda a: a.name)
+def test_states_survive_the_json_cache_round_trip(agg):
+    state = agg.zero()
+    for channel, rows in segments(agg):
+        state = agg.fold(state, channel, copy.deepcopy(rows))
+    # No sort_keys, like the cache writer: key order is load-bearing.
+    revived = json.loads(json.dumps(state))
+    assert finalized(agg, revived) == finalized(agg, state)
+
+
+def test_default_aggregates_have_unique_names_and_specs():
+    aggs = default_aggregates()
+    names = [agg.name for agg in aggs]
+    assert len(set(names)) == len(names)
+    specs = [json.dumps(agg.spec(), sort_keys=True) for agg in aggs]
+    assert len(set(specs)) == len(specs)

@@ -1,0 +1,25 @@
+"""The analysis package's docstring examples must stay runnable.
+
+docs-check CI runs these via ``--doctest-modules``; this keeps them in
+tier 1 too, so a drifting docstring fails fast locally.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.aggregates
+import repro.analysis.chunks
+import repro.analysis.engine
+import repro.analysis.reports
+
+
+@pytest.mark.parametrize("module", [
+    repro.analysis.chunks,
+    repro.analysis.aggregates,
+    repro.analysis.engine,
+    repro.analysis.reports,
+], ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, _ = doctest.testmod(module, verbose=False)
+    assert failures == 0

@@ -1,0 +1,109 @@
+"""Engine golden tests: streamed output is byte-identical to legacy.
+
+The shared small-study dataset is saved to disk once, then rendered
+through both input builders.  The chunk size is forced small so the
+plan spans many chunks per channel — worker count, chunk boundaries,
+and the partial cache must all be invisible in the output bytes.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import (
+    CACHE_DIR_NAME,
+    analyze,
+    audit_inputs_from_analysis,
+    audit_inputs_from_dataset,
+    render_audit,
+    render_report,
+    report_inputs_from_analysis,
+    report_inputs_from_dataset,
+)
+from repro.scanner import load_dataset, save_dataset
+
+CHUNK = 1 << 16  # small enough for several chunks per daily channel
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(small_study, tmp_path_factory):
+    _, dataset = small_study
+    directory = str(tmp_path_factory.mktemp("analysis-golden"))
+    save_dataset(dataset, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def legacy_text(saved_dataset):
+    dataset = load_dataset(saved_dataset)
+    report = render_report(report_inputs_from_dataset(dataset), min_days=2)
+    audit = render_audit(audit_inputs_from_dataset(dataset), worst=7)
+    return report, audit
+
+
+def streamed_text(directory, **kwargs):
+    result = analyze(directory, chunk_bytes=CHUNK, **kwargs)
+    report = render_report(report_inputs_from_analysis(result), min_days=2)
+    audit = render_audit(audit_inputs_from_analysis(result), worst=7)
+    return result, report, audit
+
+
+def test_cold_run_matches_legacy_and_misses_cache(saved_dataset, legacy_text):
+    result, report, audit = streamed_text(saved_dataset, use_cache=True)
+    assert result.chunks > 12  # the small chunk size actually split files
+    assert result.cache_hits == 0
+    assert result.cache_misses == result.chunks
+    assert (report, audit) == legacy_text
+
+
+def test_warm_run_hits_cache_and_stays_identical(saved_dataset, legacy_text):
+    result, report, audit = streamed_text(saved_dataset, use_cache=True)
+    assert result.cache_hits == result.chunks
+    assert result.cache_misses == 0
+    assert (report, audit) == legacy_text
+
+
+def test_parallel_run_is_identical(saved_dataset, legacy_text):
+    _, report, audit = streamed_text(
+        saved_dataset, workers=2, use_cache=False)
+    assert (report, audit) == legacy_text
+
+
+def test_cache_lives_under_the_dataset(saved_dataset):
+    cache_dir = os.path.join(saved_dataset, CACHE_DIR_NAME)
+    assert os.path.isdir(cache_dir)
+    assert all(name.endswith(".json") for name in os.listdir(cache_dir))
+
+
+def test_stale_cache_entries_are_refolded(saved_dataset, legacy_text):
+    cache_dir = os.path.join(saved_dataset, CACHE_DIR_NAME)
+    victim = sorted(os.listdir(cache_dir))[0]
+    with open(os.path.join(cache_dir, victim), "w", encoding="utf-8") as fh:
+        fh.write('{"schema": "repro-analysis/0"}')
+    result, report, audit = streamed_text(saved_dataset, use_cache=True)
+    assert result.cache_misses == 1
+    assert result.cache_hits == result.chunks - 1
+    assert (report, audit) == legacy_text
+
+
+def test_row_counts_match_the_dataset(saved_dataset, small_study):
+    _, dataset = small_study
+    result = analyze(saved_dataset, chunk_bytes=CHUNK)
+    for channel in ("ticket_daily", "dhe_daily", "session_probes",
+                    "cache_edges"):
+        assert result.rows(channel) == len(getattr(dataset, channel))
+
+
+def test_empty_dataset_renders_without_sections(tmp_path):
+    from repro.scanner.datastore import write_meta
+
+    directory = str(tmp_path / "empty")
+    os.makedirs(directory)
+    write_meta(directory, {"days": 0, "always_present": [], "ranks": {}})
+    result = analyze(directory)
+    assert result.chunks == 0
+    report = render_report(report_inputs_from_analysis(result))
+    audit = render_audit(audit_inputs_from_analysis(result))
+    assert "prolonged STEK reuse" in report
+    assert "Table 1" not in report  # no support scans -> no waterfalls
+    assert "domains considered" in audit

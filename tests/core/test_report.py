@@ -2,6 +2,7 @@
 
 from repro.core.groups import GroupingResult, ServiceGroup
 from repro.core.report import (
+    TopReuseRow,
     describe_window,
     largest_group_rows,
     render_exposure_summary,
@@ -15,7 +16,7 @@ from repro.core.lifetimes import lifetime_buckets
 from repro.core.spans import DomainSpans, IdentifierSpan
 from repro.core.support import SupportWaterfall
 from repro.core.windows import VulnerabilityWindow, summarize_exposure
-from repro.netsim.clock import DAY
+from repro.netsim.clock import DAY, HOUR
 from repro.scanner.records import ResumptionProbeResult
 
 
@@ -118,3 +119,52 @@ def test_describe_window():
     assert describe_window(0) == "none observed"
     assert describe_window(300) == "5 min"
     assert describe_window(63 * DAY) == "63 d"
+
+
+def test_describe_window_edge_durations():
+    # Negative or zero exposure reads as "none observed", never "-5 s".
+    assert describe_window(-1) == "none observed"
+    # Unit boundaries: just under a minute stays in seconds, exactly a
+    # minute switches units, and so on up the ladder.
+    assert describe_window(59) == "59 s"
+    assert describe_window(60) == "1 min"
+    assert describe_window(HOUR) == "1 h"
+    assert describe_window(DAY - 1) == "24.0 h"
+    assert describe_window(DAY) == "1 d"
+    # Fractional days keep one decimal (the audit table's "1.5 d").
+    assert describe_window(36 * HOUR) == "1.5 d"
+
+
+def test_top_reuse_row_fields_and_unranked_sentinel():
+    spans = spans_map([("unranked.example", 30)])
+    rows = top_reuse_rows(spans, ranks={}, min_days=7)
+    assert len(rows) == 1
+    row = rows[0]
+    assert isinstance(row, TopReuseRow)
+    assert (row.domain, row.days) == ("unranked.example", 31)
+    # Domains missing from the rank map sort last, not first.
+    assert row.rank == 1 << 30
+
+
+def test_top_reuse_rows_tie_break_preserves_span_order():
+    # Equal ranks: sort() is stable, so first-seen span order survives —
+    # the property the streaming path's merge rules must preserve.
+    spans = spans_map([("b.example", 20), ("a.example", 20)])
+    ranks = {"b.example": 7, "a.example": 7}
+    rows = top_reuse_rows(spans, ranks, min_days=7)
+    assert [r.domain for r in rows] == ["b.example", "a.example"]
+
+
+def test_render_top_reuse_empty_rows_is_header_only():
+    text = render_top_reuse([], "Table 3: DHE reuse")
+    lines = text.splitlines()
+    assert lines[0] == "Table 3: DHE reuse"
+    assert lines[1] == ""
+    assert "Rank" in lines[2] and "Domain" in lines[2]
+    assert len(lines) == 3
+
+
+def test_render_top_reuse_row_formatting():
+    row = TopReuseRow(rank=12, domain="example.org", days=63)
+    text = render_top_reuse([row], "t")
+    assert text.splitlines()[-1] == f"{12:>6}  {'example.org':<28} {63:>6}"

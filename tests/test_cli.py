@@ -55,6 +55,46 @@ def test_audit_renders_windows(study_dir, capsys):
     assert "mechanism" in out
 
 
+def test_report_streaming_flags_do_not_change_bytes(study_dir, capsys):
+    assert main(["report", str(study_dir), "--min-days", "2",
+                 "--legacy"]) == 0
+    legacy = capsys.readouterr().out
+    assert main(["report", str(study_dir), "--min-days", "2"]) == 0
+    streamed = capsys.readouterr().out
+    assert main(["report", str(study_dir), "--min-days", "2",
+                 "--workers", "2", "--no-cache"]) == 0
+    parallel = capsys.readouterr().out
+    assert legacy == streamed == parallel
+
+
+def test_audit_streaming_flags_do_not_change_bytes(study_dir, capsys):
+    assert main(["audit", str(study_dir), "--worst", "5", "--legacy"]) == 0
+    legacy = capsys.readouterr().out
+    assert main(["audit", str(study_dir), "--worst", "5"]) == 0
+    streamed = capsys.readouterr().out
+    assert legacy == streamed
+
+
+def test_streamed_report_leaves_partial_cache(study_dir):
+    from repro.analysis import CACHE_DIR_NAME
+
+    assert main(["report", str(study_dir), "--min-days", "2"]) == 0
+    assert (study_dir / CACHE_DIR_NAME).is_dir()
+
+
+def test_doc_table_prints_reference_and_exits(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--doc-table"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "| Command | Option | Default | Description |" in out
+    # Every subcommand appears, including the streaming analysis flags.
+    for command in ("scan", "study", "report", "audit", "target", "stats"):
+        assert f"`{command}`" in out
+    assert "`--workers WORKERS`" in out
+    assert "`--legacy`" in out
+
+
 def test_target_analysis(capsys):
     code = main(["target", "google.com", "--horizon-hours", "36",
                  "--population", "420", "--seed", "3"])

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""docs-check: keep the documentation executable and the CLI table fresh.
+
+Two modes, both exercised by the ``docs-check`` CI job:
+
+``cli-table``
+    Regenerates the CLI reference from the argparse tree
+    (``python -m repro.cli --doc-table``) and diffs it against the
+    block between ``<!-- cli-reference:begin -->`` and
+    ``<!-- cli-reference:end -->`` in README.md.  ``--write`` updates
+    the block in place instead of failing.
+
+``walkthrough FILE [FILE ...]``
+    Executes a markdown file's annotated fenced code blocks, verbatim,
+    in one shared scratch directory per file:
+
+    * ``<!-- docs-check: run -->`` before a ```bash/```python block —
+      run it (bash -euo pipefail / the current Python); non-zero exit
+      fails the check;
+    * ``<!-- docs-check: expect -->`` before a fenced block — its text
+      must equal the previous run block's stdout exactly.
+
+    Blocks without a directive are prose, not contracts.
+
+Usage::
+
+    python tools/check_docs.py cli-table [--write]
+    python tools/check_docs.py walkthrough README.md EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+BEGIN = "<!-- cli-reference:begin -->"
+END = "<!-- cli-reference:end -->"
+RUN = "<!-- docs-check: run -->"
+EXPECT = "<!-- docs-check: expect -->"
+
+sys.path.insert(0, SRC)
+
+
+# --- cli-table mode ----------------------------------------------------
+
+
+def generated_table() -> str:
+    from repro.cli import build_parser, render_cli_table
+
+    return render_cli_table(build_parser())
+
+
+def check_cli_table(readme_path: str, write: bool) -> int:
+    with open(readme_path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    pattern = re.compile(
+        re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.DOTALL)
+    match = pattern.search(text)
+    if match is None:
+        print(f"{readme_path}: missing {BEGIN} / {END} markers",
+              file=sys.stderr)
+        return 1
+    fresh = generated_table().rstrip("\n") + "\n"
+    current = match.group(1)
+    if current == fresh:
+        print(f"{readme_path}: CLI reference is up to date")
+        return 0
+    if write:
+        updated = text[: match.start(1)] + fresh + text[match.end(1):]
+        with open(readme_path, "w", encoding="utf-8") as fh:
+            fh.write(updated)
+        print(f"{readme_path}: CLI reference rewritten")
+        return 0
+    print(f"{readme_path}: CLI reference is stale "
+          f"(run `python tools/check_docs.py cli-table --write`):",
+          file=sys.stderr)
+    sys.stderr.writelines(difflib.unified_diff(
+        current.splitlines(keepends=True), fresh.splitlines(keepends=True),
+        fromfile="README.md", tofile="--doc-table"))
+    return 1
+
+
+# --- walkthrough mode --------------------------------------------------
+
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def annotated_blocks(text: str):
+    """Yield (directive, language, body, line_number) for fenced blocks
+    immediately preceded by a docs-check directive comment."""
+    lines = text.splitlines()
+    directive = None
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped in (RUN, EXPECT):
+            directive = stripped
+            i += 1
+            continue
+        fence = FENCE.match(stripped)
+        if fence and directive:
+            language = fence.group(1)
+            body: list[str] = []
+            start = i + 1
+            i += 1
+            while i < len(lines) and lines[i].strip() != "```":
+                body.append(lines[i])
+                i += 1
+            yield directive, language, "\n".join(body), start
+            directive = None
+        elif stripped:
+            directive = None
+        i += 1
+
+
+def run_block(language: str, body: str, cwd: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if language == "python":
+        command = [sys.executable, "-c", body]
+    else:
+        command = ["bash", "-euo", "pipefail", "-c", body]
+    return subprocess.run(
+        command, cwd=cwd, env=env, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+
+
+def check_walkthrough(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    scratch = tempfile.mkdtemp(prefix="docs-check-")
+    failures = 0
+    last_output: str | None = None
+    ran = 0
+    try:
+        for directive, language, body, line in annotated_blocks(text):
+            if directive == RUN:
+                ran += 1
+                print(f"{path}:{line}: running {language or 'bash'} block")
+                proc = run_block(language, body, scratch)
+                last_output = proc.stdout
+                if proc.returncode != 0:
+                    failures += 1
+                    print(f"{path}:{line}: block exited "
+                          f"{proc.returncode}:\n{proc.stdout}",
+                          file=sys.stderr)
+            else:
+                if last_output is None:
+                    failures += 1
+                    print(f"{path}:{line}: expect block with no preceding "
+                          f"run block", file=sys.stderr)
+                    continue
+                want = body.rstrip("\n")
+                got = last_output.rstrip("\n")
+                if want != got:
+                    failures += 1
+                    print(f"{path}:{line}: output drifted from the "
+                          f"documented transcript:", file=sys.stderr)
+                    sys.stderr.writelines(difflib.unified_diff(
+                        want.splitlines(keepends=True),
+                        got.splitlines(keepends=True),
+                        fromfile=f"{path}:{line} (documented)",
+                        tofile="actual output", lineterm="\n"))
+                    sys.stderr.write("\n")
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    if failures:
+        print(f"{path}: {failures} failing block(s)", file=sys.stderr)
+        return 1
+    print(f"{path}: {ran} run block(s) OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_docs", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="mode", required=True)
+    table = sub.add_parser("cli-table", help="diff README's CLI reference")
+    table.add_argument("--readme", default=os.path.join(REPO, "README.md"))
+    table.add_argument("--write", action="store_true",
+                       help="rewrite the block instead of failing")
+    walk = sub.add_parser("walkthrough", help="execute annotated blocks")
+    walk.add_argument("files", nargs="+")
+    args = parser.parse_args(argv)
+    if args.mode == "cli-table":
+        return check_cli_table(args.readme, args.write)
+    status = 0
+    for path in args.files:
+        status |= check_walkthrough(path)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
