@@ -44,6 +44,7 @@ from .reports import (
     audit_inputs_from_analysis,
     audit_inputs_from_dataset,
     render_audit,
+    render_events_provenance,
     render_report,
     report_inputs_from_analysis,
     report_inputs_from_dataset,
@@ -75,4 +76,5 @@ __all__ = [
     "audit_inputs_from_analysis",
     "render_report",
     "render_audit",
+    "render_events_provenance",
 ]

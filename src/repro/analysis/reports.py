@@ -220,6 +220,29 @@ def render_audit(inputs: AuditInputs, worst: int = 0) -> str:
     return "\n".join(blocks)
 
 
+def render_events_provenance(summary: dict, path: str) -> str:
+    """A short provenance note appended below ``repro report --events``.
+
+    ``summary`` is :func:`repro.obs.events.summarize_events` output for
+    the event log the producing run streamed; the note surfaces the
+    run-health facts a reader needs to judge the tables above (retries,
+    chaos injections, breaker trips, whether the run aborted).
+    """
+    lines = [
+        "run provenance (from event log)",
+        f"  event log          {path}",
+        f"  events             {summary.get('total', 0)}",
+        f"  retries            {summary.get('retries', 0)}",
+        f"  chaos injections   {summary.get('chaos_injections', 0)}",
+        f"  breaker trips      {summary.get('breaker_trips', 0)}",
+        f"  checkpoints        {summary.get('checkpoints', 0)}",
+    ]
+    if summary.get("aborted"):
+        lines.append("  WARNING: the producing run ABORTED; "
+                     "this dataset may be partial")
+    return "\n".join(lines)
+
+
 __all__ = [
     "ReportInputs",
     "AuditInputs",
@@ -229,4 +252,5 @@ __all__ = [
     "audit_inputs_from_analysis",
     "render_report",
     "render_audit",
+    "render_events_provenance",
 ]

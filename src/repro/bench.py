@@ -206,8 +206,19 @@ def run_micro(seconds: float) -> dict:
 # --- end-to-end reference study ----------------------------------------
 
 def run_e2e(quick: bool) -> dict:
-    """Run the reference mini-study through the engine; report grabs/sec."""
+    """Run the reference mini-study through the engine; report grabs/sec.
+
+    The run streams a live event log through :class:`LivePlane` so the
+    reported grabs/sec carries the observability plane's overhead — the
+    number a ``--events`` run would actually see — and the event/series
+    counts land in the JSON for the cross-PR trajectory.
+    """
+    import shutil
+    import tempfile
+
     from .hosting import EcosystemConfig, build_ecosystem
+    from .obs.events import load_events
+    from .obs.exporter import LivePlane
     from .obs.metrics import METRICS, cache_stats
     from .scanner import StudyConfig, run_study_with_stats
     from .scanner.engine import StudyEngine
@@ -227,7 +238,16 @@ def run_e2e(quick: bool) -> dict:
     )
     ecosystem = build_ecosystem(EcosystemConfig(population=population, seed=2016))
     metrics_base = METRICS.snapshot()
-    _, stats = run_study_with_stats(ecosystem, config)
+    workdir = tempfile.mkdtemp(prefix="repro-bench-obs-")
+    events_path = os.path.join(workdir, "events.jsonl")
+    plane = LivePlane(events_path=events_path).start()
+    try:
+        _, stats = run_study_with_stats(ecosystem, config, live=plane)
+        plane.stop()
+        events_emitted = max(0, len(load_events(events_path)) - 1)  # - header
+    finally:
+        plane.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
     # Cache-effectiveness counters for *this* study run (the PR-2 caches
     # the pipeline's throughput depends on), from the metrics delta.
     delta = METRICS.snapshot_delta(metrics_base)
@@ -245,6 +265,13 @@ def run_e2e(quick: bool) -> dict:
             "grabs_per_sec": round(stats.grabs_per_sec, 2),
         },
         "caches": caches,
+        "observability": {
+            "events_emitted": events_emitted,
+            "metric_series": sum(
+                len(delta.get(section, {}))
+                for section in ("counters", "gauges", "histograms")
+            ),
+        },
     }
 
 
@@ -428,6 +455,20 @@ def run_analysis(quick: bool) -> dict:
 
 # --- orchestration -----------------------------------------------------
 
+def _resource_usage() -> dict:
+    """Peak RSS of the benchmark process (after all workloads ran).
+
+    ``ru_maxrss`` is kilobytes on Linux but *bytes* on macOS; normalize
+    to KiB so the trajectory across PRs is comparable.
+    """
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return {"peak_rss_kb": peak}
+
+
 _SPEEDUP_KEYS = (
     ("micro", "ticket_seal", "ops_per_sec"),
     ("micro", "ticket_open", "ops_per_sec"),
@@ -470,6 +511,7 @@ def run_bench(
         "micro": run_micro(seconds),
         "e2e": run_e2e(quick),
         "analysis": run_analysis(quick),
+        "resources": _resource_usage(),
     }
     if baseline_path:
         with open(baseline_path, "r", encoding="utf-8") as fh:
@@ -489,12 +531,21 @@ def render(report: dict) -> str:
     for name, stats in report["micro"].items():
         lines.append(f"  {name:<{width}}  {stats['ops_per_sec']:>12,.1f} ops/s")
     for name, stats in report["e2e"].items():
-        if name == "caches":
+        if name in ("caches", "observability"):
             continue
         lines.append(
             f"  {name:<{width}}  {stats['grabs_per_sec']:>12,.1f} grabs/s "
             f"({stats['grabs']:,} grabs in {stats['seconds']}s)"
         )
+    plane = report["e2e"].get("observability")
+    if plane:
+        lines.append(
+            f"  observability: {plane['events_emitted']:,} events emitted, "
+            f"{plane['metric_series']:,} live metric series"
+        )
+    resources = report.get("resources")
+    if resources:
+        lines.append(f"  peak RSS: {resources['peak_rss_kb'] / 1024:,.1f} MiB")
     caches = report["e2e"].get("caches", {})
     if caches:
         lines.append("  cache effectiveness (reference study):")

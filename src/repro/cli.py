@@ -17,6 +17,10 @@ Subcommands mirror the library's workflow:
 * ``audit DIR``     — vulnerability windows + §8.2 mitigation
   counterfactuals from a saved dataset.
 * ``target DOMAIN`` — the §7.2 nation-state target analysis.
+* ``watch TARGET``  — follow a running ``--serve-metrics`` study by
+  URL (live progress/ETA line) or summarize a telemetry directory.
+* ``events FILE``   — inspect/validate/summarize a ``repro-events/1``
+  JSONL event log written by ``study --events``.
 
 Every command takes ``--population`` and ``--seed`` so results are
 reproducible; ecosystems are rebuilt deterministically rather than
@@ -36,6 +40,7 @@ import json
 import logging
 import os
 import sys
+import time
 from typing import Optional
 
 from .crypto.rng import DeterministicRandom
@@ -256,8 +261,31 @@ def cmd_study(args) -> int:
             chaos=chaos,
             retry=retry,
         )
-    reporter = _ProgressReporter(args.verbosity)
+    profile_dir = None
+    if args.profile:
+        if not args.telemetry_dir:
+            print("--profile requires --telemetry-dir (the aggregated "
+                  "profile lands under <telemetry-dir>/profile/)",
+                  file=sys.stderr)
+            return 2
+        profile_dir = os.path.join(args.telemetry_dir, "profile")
 
+    live = None
+    if args.serve_metrics is not None or args.events:
+        from .obs.exporter import LivePlane
+
+        live = LivePlane(
+            serve_port=args.serve_metrics, events_path=args.events
+        ).start()
+        if live.url:
+            log.info(
+                "live observability plane at %s "
+                "(endpoints: /metrics /progress /healthz /events)", live.url,
+            )
+        if args.events:
+            log.info("streaming events to %s", args.events)
+
+    reporter = _ProgressReporter(args.verbosity)
     try:
         dataset, stats = run_study_with_stats(
             ecosystem, config,
@@ -266,9 +294,13 @@ def cmd_study(args) -> int:
             telemetry_dir=args.telemetry_dir,
             resume=bool(args.resume),
             fail_fast=args.fail_fast,
+            live=live,
+            profile_dir=profile_dir,
         )
     except StudyAborted as exc:
         reporter.close()
+        if live is not None:
+            live.study_aborted(str(exc))
         print(f"error: {exc}", file=sys.stderr)
         if exc.checkpoint_dir:
             stream = os.path.dirname(exc.checkpoint_dir)
@@ -281,6 +313,9 @@ def cmd_study(args) -> int:
         reporter.close()
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if live is not None:
+            live.stop()
     reporter.close()
     save_dataset(dataset, args.out)
     print(f"dataset saved to {args.out} "
@@ -290,6 +325,11 @@ def cmd_study(args) -> int:
         log.info(
             "telemetry written to %s (inspect with `repro stats %s`)",
             args.telemetry_dir, args.telemetry_dir,
+        )
+    if args.events:
+        log.info(
+            "event log written to %s (inspect with `repro events %s`)",
+            args.events, args.events,
         )
     return 0
 
@@ -323,11 +363,26 @@ def cmd_report(args) -> int:
         report_inputs_from_dataset,
     )
 
+    provenance = None
+    if args.events:
+        from .analysis import render_events_provenance
+        from .obs.events import load_events, summarize_events
+
+        try:
+            summary = summarize_events(load_events(args.events))
+        except (OSError, ValueError) as exc:
+            print(f"cannot load events from {args.events}: {exc}",
+                  file=sys.stderr)
+            return 1
+        provenance = render_events_provenance(summary, args.events)
     if args.legacy:
         inputs = report_inputs_from_dataset(_load(args.dataset))
     else:
         inputs = report_inputs_from_analysis(_analysis_result(args))
     print(render_report(inputs, min_days=args.min_days))
+    if provenance is not None:
+        print()
+        print(provenance)
     return 0
 
 
@@ -387,7 +442,124 @@ def cmd_stats(args) -> int:
         print(render_prometheus(metrics), end="")
     else:
         print(render_stats_report(manifest, metrics))
+        from .obs.profiling import load_profile_summary, render_profile_report
+
+        summary = load_profile_summary(os.path.join(directory, "profile"))
+        if summary is not None:
+            print()
+            print(render_profile_report(summary))
     return 1 if errors else 0
+
+
+def _watch_http(args) -> int:
+    """Poll a --serve-metrics study's /progress endpoint until done."""
+    import urllib.error
+    import urllib.request
+
+    from .obs.progress import render_progress
+
+    base = args.target.rstrip("/")
+    progress_url = (
+        base if base.endswith("/progress") else base + "/progress"
+    )
+    reached = False
+    while True:
+        try:
+            with urllib.request.urlopen(progress_url, timeout=5) as response:
+                snapshot = json.load(response)
+        except (OSError, ValueError):
+            if not reached:
+                print(f"cannot reach {progress_url} — is the study running "
+                      "with --serve-metrics?", file=sys.stderr)
+                return 1
+            # The study exited and took its endpoint with it: a normal
+            # end of watch, not an error.
+            print(file=sys.stderr)
+            log.info("endpoint gone; the study has exited")
+            return 0
+        reached = True
+        line = render_progress(snapshot)
+        if args.once:
+            print(line)
+            return 0
+        print(f"\r{line}", end="", flush=True, file=sys.stderr)
+        state = snapshot.get("state")
+        if state in ("done", "aborted"):
+            print(file=sys.stderr)
+            print(line)
+            return 0 if state == "done" else 3
+        time.sleep(max(args.interval, 0.1))
+
+
+def _watch_dir(args) -> int:
+    """Summarize a telemetry directory (or a checkpointed stream dir)."""
+    from .obs import load_manifest
+    from .obs.report import render_stats_report
+
+    target = args.target
+    try:
+        manifest = load_manifest(target)
+    except (OSError, ValueError):
+        store = CheckpointStore(target)
+        if store.exists():
+            done = store.completed_shards()
+            print(f"{target}: in-flight streamed run — "
+                  f"{len(done)} shard(s) checkpointed "
+                  f"({', '.join(str(s) for s in done) or 'none'})")
+            return 0
+        print(f"{target}: neither a telemetry directory (manifest.json) "
+              "nor a checkpointed stream directory", file=sys.stderr)
+        return 1
+    # Headline only — `repro stats` renders the full report.
+    print(render_stats_report(manifest, {}).splitlines()[0])
+    run = manifest.get("run", {})
+    if run:
+        print(f"  finished: {run.get('grabs', 0):,} grabs over "
+              f"{run.get('days', '?')} days in "
+              f"{run.get('elapsed_seconds', 0.0):.2f}s")
+    return 0
+
+
+def cmd_watch(args) -> int:
+    if args.target.startswith(("http://", "https://")):
+        return _watch_http(args)
+    return _watch_dir(args)
+
+
+def cmd_events(args) -> int:
+    from .obs.events import (
+        level_at_least,
+        load_events,
+        render_event,
+        render_summary,
+        summarize_events,
+        validate_events,
+    )
+
+    try:
+        records = load_events(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load events from {args.file}: {exc}", file=sys.stderr)
+        return 1
+    if args.validate:
+        errors = validate_events(records)
+        for error in errors:
+            print(f"events: {error}", file=sys.stderr)
+        if errors:
+            return 1
+        print(f"{args.file}: {len(records):,} events, repro-events/1 OK")
+        return 0
+    if args.summary:
+        print(render_summary(summarize_events(records)))
+        return 0
+    shown = 0
+    for record in records:
+        if level_at_least(record, args.level):
+            print(render_event(record))
+            shown += 1
+    if shown == 0:
+        log.info("no events at level >= %s", args.level)
+    return 0
 
 
 def cmd_target(args) -> int:
@@ -552,8 +724,56 @@ def build_parser() -> argparse.ArgumentParser:
                             "checkpoint (config is restored from the "
                             "checkpoint; output is byte-identical to an "
                             "uninterrupted run)")
+    study.add_argument("--serve-metrics", type=int, default=None,
+                       metavar="PORT",
+                       help="serve live /metrics (Prometheus), /progress, "
+                            "/healthz, and /events on 127.0.0.1:PORT while "
+                            "the study runs (0 picks a free port; watch "
+                            "with `repro watch`)")
+    study.add_argument("--events", default=None, metavar="FILE",
+                       help="stream a structured repro-events/1 JSONL event "
+                            "log to FILE (lifecycle, checkpoints, retries, "
+                            "breaker trips, chaos injections; inspect with "
+                            "`repro events`)")
+    study.add_argument("--profile", action="store_true",
+                       help="run each shard under cProfile with phase "
+                            "timers and a slowest-grabs board, aggregated "
+                            "into <telemetry-dir>/profile/ (requires "
+                            "--telemetry-dir; surfaced by `repro stats`)")
     _add_ecosystem_arguments(study)
     study.set_defaults(func=cmd_study)
+
+    watch = sub.add_parser(
+        "watch", help="follow a running --serve-metrics study, or "
+                      "summarize a telemetry directory"
+    )
+    watch.add_argument("target",
+                       help="base URL of a running study "
+                            "(http://127.0.0.1:PORT) or a telemetry/"
+                            "stream directory")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="poll interval for URL targets (default 2)")
+    watch.add_argument("--once", action="store_true",
+                       help="print one status line and exit instead of "
+                            "following until the study finishes")
+    watch.set_defaults(func=cmd_watch)
+
+    events = sub.add_parser(
+        "events", help="inspect a repro-events/1 JSONL event log"
+    )
+    events.add_argument("file",
+                        help="event log written by `repro study --events`")
+    events.add_argument("--level", default="debug",
+                        choices=("debug", "info", "warning", "error"),
+                        help="minimum severity to print (default debug)")
+    events.add_argument("--summary", action="store_true",
+                        help="print per-event-type and per-level counts "
+                             "instead of individual lines")
+    events.add_argument("--validate", action="store_true",
+                        help="check header/schema/sequence invariants; "
+                             "nonzero exit if the log is malformed")
+    events.set_defaults(func=cmd_events)
 
     stats = sub.add_parser(
         "stats", help="render a telemetry directory written by `repro study`"
@@ -581,6 +801,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("dataset", help="directory written by `repro study`")
     report.add_argument("--min-days", type=int, default=7,
                         help="reuse-table threshold in days (default 7)")
+    report.add_argument("--events", default=None, metavar="FILE",
+                        help="append a provenance note summarizing the "
+                             "producing run's event log (retries, chaos "
+                             "injections, breaker trips)")
     _add_analysis_arguments(report)
     report.set_defaults(func=cmd_report)
 
@@ -612,7 +836,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     args.verbosity = _configure_logging(args)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piped into `head` and the reader went away: not an error.
+        # Point stdout at /dev/null so interpreter shutdown doesn't
+        # raise again while flushing the dead pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

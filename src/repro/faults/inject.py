@@ -11,6 +11,7 @@ layer without the server code knowing about chaos at all.
 
 from __future__ import annotations
 
+from ..obs.events import EVENTS
 from ..obs.metrics import METRICS
 from ..tls.errors import HandshakeFailure
 from .plan import KIND_RESET, KIND_TRUNCATE, ImpairmentPlan
@@ -36,6 +37,8 @@ class ImpairedServer:
         self.injected_fault = kind
 
     def accept(self, client_hello_bytes: bytes):
+        if EVENTS.enabled:
+            EVENTS.emit("chaos.injected", kind=self.injected_fault)
         if self.injected_fault == KIND_RESET:
             _INJECTED_RESET.value += 1
             raise HandshakeFailure("injected fault: connection reset mid-handshake")

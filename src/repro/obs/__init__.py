@@ -1,6 +1,6 @@
 """Dependency-free telemetry for the measurement pipeline.
 
-Three cooperating layers (see DESIGN.md §8):
+Cooperating layers (see DESIGN.md §8 and §11):
 
 * :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
   with deterministic cross-process snapshot merging;
@@ -8,7 +8,16 @@ Three cooperating layers (see DESIGN.md §8):
   and JSONL export;
 * :mod:`repro.obs.manifest` / :mod:`repro.obs.report` — run manifests
   (provenance + timing + cache effectiveness) and their human /
-  Prometheus renderings.
+  Prometheus renderings;
+* :mod:`repro.obs.events` — the structured JSONL event log
+  (``repro-events/1``) a live run streams to disk;
+* :mod:`repro.obs.progress` — shard-day progress/ETA tracking behind
+  the TTY status line and ``/progress``;
+* :mod:`repro.obs.exporter` — the live plane: in-run HTTP exposition
+  (``/metrics``, ``/progress``, ``/healthz``, ``/events``) plus the
+  cross-process snapshot-delta spool;
+* :mod:`repro.obs.profiling` — opt-in phase timers, slowest-grab
+  tracking, and per-shard cProfile aggregation.
 
 The invariant every instrument obeys: telemetry is **output-neutral**.
 Nothing in this package (or any call into it) may touch a seeded RNG
@@ -17,6 +26,8 @@ or off.
 """
 
 from . import trace
+from .events import EVENTS, EventLog, EventWriter, load_events, validate_events
+from .exporter import LivePlane, ObservabilityServer, SpoolPoller, SpoolPush
 from .manifest import (
     MANIFEST_NAME,
     METRICS_NAME,
@@ -44,10 +55,33 @@ from .metrics import (
     register_process_cache,
     reset_process_caches,
 )
-from .report import render_prometheus, render_stats_report
+from .profiling import PROFILER, Profiler, render_profile_report
+from .progress import ProgressTracker, render_progress
+from .report import (
+    parse_prometheus,
+    render_prometheus,
+    render_stats_report,
+    to_prom_snapshot,
+)
 
 __all__ = [
     "trace",
+    "EVENTS",
+    "EventLog",
+    "EventWriter",
+    "load_events",
+    "validate_events",
+    "LivePlane",
+    "ObservabilityServer",
+    "SpoolPush",
+    "SpoolPoller",
+    "PROFILER",
+    "Profiler",
+    "render_profile_report",
+    "ProgressTracker",
+    "render_progress",
+    "parse_prometheus",
+    "to_prom_snapshot",
     "METRICS",
     "MetricsRegistry",
     "Counter",

@@ -44,18 +44,26 @@ TRACE_NAME = "trace.jsonl"
 
 
 def git_describe(cwd: Optional[str] = None) -> str:
-    """``git describe --always --dirty`` of the producing tree, or ''."""
+    """``git describe --always --dirty`` of the producing tree.
+
+    Returns ``"unknown"`` when git is missing, the tree is not a
+    repository, or the command fails any other way — a manifest must
+    never fail to build because of provenance lookup.
+    """
     try:
-        return subprocess.run(
+        completed = subprocess.run(
             ["git", "describe", "--always", "--dirty"],
             cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
             capture_output=True,
             text=True,
             timeout=10,
             check=False,
-        ).stdout.strip()
+        )
     except (OSError, subprocess.SubprocessError):
-        return ""
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
 
 
 def _jsonable(value):

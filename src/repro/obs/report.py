@@ -3,67 +3,285 @@ text-format exposition.
 
 ``repro stats <telemetry-dir>`` feeds a manifest (+ the sibling
 metrics snapshot) through :func:`render_stats_report`; automation
-scrapes :func:`render_prometheus` output (also written to
-``metrics.prom`` at study time) — the standard ``# TYPE`` / sample
-line format, with dotted metric names flattened to underscores under
-a ``repro_`` prefix.
+scrapes :func:`render_prometheus` output (written to ``metrics.prom``
+at study time and served live on ``/metrics`` by
+:mod:`repro.obs.exporter`) — the standard ``# HELP`` / ``# TYPE`` /
+sample line format, with dotted metric names flattened to underscores
+under a ``repro_`` prefix, label values escaped per the exposition
+format, and families emitted in a deterministic order (counters, then
+gauges, then histograms; families sorted by name; samples sorted by
+labels).  :func:`parse_prometheus` inverts the rendering back into a
+snapshot-shaped dict for tests and CI smoke checks.
 """
 
 from __future__ import annotations
 
+import re
+
 from .metrics import parse_key
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+#: HELP text per dotted metric family (fallback is generated).
+METRIC_HELP = {
+    "scanner.grab.attempt": "TLS connection attempts made by the grabber.",
+    "scanner.grab.failure": "Grab attempts that failed, by failure reason.",
+    "scanner.grab.retry": "Retries taken by the grabber, by failure reason.",
+    "scanner.grab.seconds": "Wall-clock duration of one grab attempt.",
+    "scanner.grab.attempts_per_grab": "Connection attempts consumed per logical grab.",
+    "scanner.breaker.open": "Per-domain circuit breakers currently open.",
+    "scanner.breaker.opened": "Circuit-breaker open transitions.",
+    "scanner.breaker.closed": "Circuit-breaker close transitions.",
+    "engine.pending_shards": "Shards not yet completed by the study engine.",
+    "experiment.grabs": "Grabs attributed to each experiment.",
+    "faults.injected": "Faults injected by the chaos plan, by kind.",
+}
 
 
 def _prom_name(name: str) -> str:
-    return "repro_" + name.replace(".", "_").replace("-", "_")
+    """Flatten a dotted metric name to a valid Prometheus name."""
+    flat = _NAME_BAD.sub("_", name.replace(".", "_").replace("-", "_"))
+    prom = "repro_" + flat
+    # A name can't start with a digit; the repro_ prefix guarantees
+    # that here, but guard anyway for direct callers.
+    if prom[0].isdigit():
+        prom = "_" + prom
+    return prom
+
+
+def _escape_label_value(value) -> str:
+    """Escape backslash, double-quote, and newline per the format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_name(name: str) -> str:
+    clean = _LABEL_BAD.sub("_", str(name))
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
 
 
 def _prom_labels(labels: dict) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{k}="{str(v)}"' for k, v in sorted(labels.items())
+        f'{_label_name(k)}="{_escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
     )
     return "{" + inner + "}"
 
 
+def _help_text(name: str) -> str:
+    return METRIC_HELP.get(name, f"repro metric {name}.")
+
+
+def _grouped(section: dict) -> list[tuple[str, list[tuple[dict, object]]]]:
+    """Group a snapshot section by family: sorted families, sorted samples."""
+    families: dict[str, list[tuple[dict, object]]] = {}
+    for key, value in section.items():
+        name, labels = parse_key(key)
+        families.setdefault(name, []).append((labels, value))
+    return [
+        (name, sorted(samples, key=lambda s: sorted(s[0].items())))
+        for name, samples in sorted(families.items())
+    ]
+
+
 def render_prometheus(snapshot: dict) -> str:
-    """Prometheus text exposition of a metrics snapshot."""
+    """Prometheus text exposition of a metrics snapshot.
+
+    Deterministic: for equal snapshots the output is byte-identical —
+    kinds in a fixed order, families sorted by name, one ``# HELP`` +
+    ``# TYPE`` pair per family, samples sorted by labels.
+    """
     lines: list[str] = []
-    typed: set[str] = set()
 
-    def emit_type(name: str, kind: str) -> None:
-        if name not in typed:
-            lines.append(f"# TYPE {name} {kind}")
-            typed.add(name)
+    def emit_header(name: str, prom: str, kind: str) -> None:
+        lines.append(f"# HELP {prom} {_help_text(name)}")
+        lines.append(f"# TYPE {prom} {kind}")
 
+    for name, samples in _grouped(snapshot.get("counters", {})):
+        prom = _prom_name(name) + "_total"
+        emit_header(name, prom, "counter")
+        for labels, value in samples:
+            lines.append(f"{prom}{_prom_labels(labels)} {value}")
+    for name, samples in _grouped(snapshot.get("gauges", {})):
+        prom = _prom_name(name)
+        emit_header(name, prom, "gauge")
+        for labels, value in samples:
+            lines.append(f"{prom}{_prom_labels(labels)} {value}")
+    for name, samples in _grouped(snapshot.get("histograms", {})):
+        prom = _prom_name(name)
+        emit_header(name, prom, "histogram")
+        for labels, hist in samples:
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{prom}_bucket{_prom_labels({**labels, 'le': bound})} "
+                    f"{cumulative}"
+                )
+            cumulative += hist["counts"][-1]
+            lines.append(
+                f"{prom}_bucket{_prom_labels({**labels, 'le': '+Inf'})} "
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{prom}_sum{_prom_labels(labels)} {round(hist['sum'], 6)}"
+            )
+            lines.append(f"{prom}_count{_prom_labels(labels)} {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- parsing the exposition back (tests + CI smoke) ------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _sample_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return name + "{" + inner + "}"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse an exposition back into a snapshot-shaped dict.
+
+    The result is keyed by *Prometheus* names (the dotted originals
+    are not recoverable): ``counters`` lose their ``_total`` suffix,
+    histograms are reassembled from their ``_bucket``/``_sum``/
+    ``_count`` series with de-cumulated counts.  Inverse of
+    :func:`render_prometheus` modulo that renaming — see
+    :func:`to_prom_snapshot` for comparing against a live registry.
+    """
+    types: dict[str, str] = {}
+    raw: dict[str, list[tuple[dict, object]]] = {}
+    for line_number, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"exposition line {line_number}: cannot parse {line!r}")
+        labels = {
+            m.group("name"): _unescape_label_value(m.group("value"))
+            for m in _LABEL_RE.finditer(match.group("labels") or "")
+        }
+        raw.setdefault(match.group("name"), []).append(
+            (labels, _parse_value(match.group("value")))
+        )
+
+    snapshot: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    histogram_families = {
+        name for name, kind in types.items() if kind == "histogram"
+    }
+    histograms: dict[str, dict] = {}
+    for name, samples in raw.items():
+        family, series = name, None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in histogram_families:
+                family, series = name[: -len(suffix)], suffix[1:]
+                break
+        if series is not None:
+            for labels, value in samples:
+                labels = dict(labels)
+                bound = labels.pop("le", None)
+                entry = histograms.setdefault(
+                    _sample_key(family, labels),
+                    {"buckets": [], "sum": 0.0, "count": 0},
+                )
+                if series == "bucket":
+                    entry["buckets"].append((bound, value))
+                elif series == "sum":
+                    entry["sum"] = value
+                else:
+                    entry["count"] = value
+        elif types.get(name + "_total") == "counter" or types.get(name) == "counter":
+            base = name[:-6] if name.endswith("_total") else name
+            for labels, value in samples:
+                snapshot["counters"][_sample_key(base, labels)] = value
+        else:
+            for labels, value in samples:
+                snapshot["gauges"][_sample_key(name, labels)] = value
+
+    for key, entry in histograms.items():
+        finite = [
+            (float(bound), count)
+            for bound, count in entry["buckets"]
+            if bound not in ("+Inf", "inf", None)
+        ]
+        finite.sort(key=lambda item: item[0])
+        counts, previous = [], 0
+        for _bound, cumulative in finite:
+            counts.append(cumulative - previous)
+            previous = cumulative
+        # The +Inf bucket double-counts the overflow slot (see
+        # render_prometheus): total = sum(finite) + overflow.
+        overflow = entry["count"] - sum(counts) if entry["count"] else 0
+        counts.append(max(overflow, 0))
+        snapshot["histograms"][key] = {
+            "bounds": [bound for bound, _ in finite],
+            "counts": counts,
+            "sum": entry["sum"],
+            "count": entry["count"],
+        }
+    return snapshot
+
+
+def to_prom_snapshot(snapshot: dict) -> dict:
+    """Re-key a registry snapshot by Prometheus names.
+
+    ``parse_prometheus(render_prometheus(s)) == to_prom_snapshot(s)``
+    — the comparison form used by the exporter tests and the CI smoke
+    job.
+    """
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
     for key, value in snapshot.get("counters", {}).items():
         name, labels = parse_key(key)
-        prom = _prom_name(name) + "_total"
-        emit_type(prom, "counter")
-        lines.append(f"{prom}{_prom_labels(labels)} {value}")
+        out["counters"][_sample_key(_prom_name(name), labels)] = value
     for key, value in snapshot.get("gauges", {}).items():
         name, labels = parse_key(key)
-        prom = _prom_name(name)
-        emit_type(prom, "gauge")
-        lines.append(f"{prom}{_prom_labels(labels)} {value}")
+        out["gauges"][_sample_key(_prom_name(name), labels)] = value
     for key, hist in snapshot.get("histograms", {}).items():
         name, labels = parse_key(key)
-        prom = _prom_name(name)
-        emit_type(prom, "histogram")
-        cumulative = 0
-        for bound, count in zip(hist["bounds"], hist["counts"]):
-            cumulative += count
-            lines.append(
-                f"{prom}_bucket{_prom_labels({**labels, 'le': bound})} {cumulative}"
-            )
-        cumulative += hist["counts"][-1]
-        lines.append(
-            f"{prom}_bucket{_prom_labels({**labels, 'le': '+Inf'})} {cumulative}"
-        )
-        lines.append(f"{prom}_sum{_prom_labels(labels)} {round(hist['sum'], 6)}")
-        lines.append(f"{prom}_count{_prom_labels(labels)} {hist['count']}")
-    return "\n".join(lines) + ("\n" if lines else "")
+        total = hist["count"]
+        out["histograms"][_sample_key(_prom_name(name), labels)] = {
+            "bounds": [float(bound) for bound in hist["bounds"]],
+            "counts": list(hist["counts"]),
+            "sum": round(hist["sum"], 6),
+            "count": total,
+        }
+    return out
 
 
 def _histogram_quantile(hist: dict, q: float) -> float:

@@ -176,6 +176,8 @@ class CheckpointStore:
             "day_seconds": result.day_seconds,
             "elapsed_seconds": result.elapsed_seconds,
             "spans": result.spans,
+            "events": result.events,
+            "profile": result.profile,
         }
         os.makedirs(self.directory, exist_ok=True)
         self._write_json(f"shard-{result.shard_id:02d}.json", payload)
@@ -214,6 +216,9 @@ class CheckpointStore:
                 day_seconds=payload["day_seconds"],
                 elapsed_seconds=payload["elapsed_seconds"],
                 spans=payload["spans"],
+                # .get(): checkpoints from before the live plane lack these.
+                events=payload.get("events", []),
+                profile=payload.get("profile", {}),
             )
         return results
 

@@ -42,12 +42,19 @@ from ..faults.plan import ImpairmentPlan
 from ..hosting.ecosystem import Ecosystem
 from ..netsim.clock import DAY
 from ..obs import manifest as obs_manifest
+from ..obs.events import EVENTS
 from ..obs.metrics import (
     METRICS,
     cache_stats,
     merge_snapshots,
     parse_key,
     reset_process_caches,
+)
+from ..obs.profiling import (
+    PROFILER,
+    start_shard_profile,
+    stop_shard_profile,
+    write_profile_summary,
 )
 from ..obs.report import render_prometheus
 from ..obs.trace import TRACER, export_jsonl
@@ -153,6 +160,12 @@ class ShardResult:
     elapsed_seconds: float = 0.0
     #: Trace spans drained from this shard's process (ring-buffer tail).
     spans: list = field(default_factory=list)
+    #: Structured events drained from this shard's process (see
+    #: repro.obs.events) — empty unless the live plane's event log is on.
+    events: list = field(default_factory=list)
+    #: Profiling snapshot (phase timers, slowest grabs, pstats dump
+    #: name) — empty unless the study ran with a profile_dir.
+    profile: dict = field(default_factory=dict)
 
 
 class _MemorySink:
@@ -200,6 +213,9 @@ def run_shard(
     stream_dir: Optional[str] = None,
     registry: Optional[ExperimentRegistry] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    live_push: Optional[Callable[[int, int, int, dict], None]] = None,
+    events: bool = False,
+    profile_dir: Optional[str] = None,
 ) -> ShardResult:
     """Run every registered experiment over one shard's timeline.
 
@@ -207,6 +223,12 @@ def run_shard(
     ecosystem/shard pairing: ``ecosystem`` must be a fresh view for
     this shard (the engine rebuilds views per shard; see
     :func:`_shard_worker`).
+
+    Live-plane hooks, all diagnostics-only (never output-affecting):
+    ``live_push(day, days, day_grabs, metrics_delta)`` fires after each
+    study day; ``events`` buffers structured events into the returned
+    result; ``profile_dir`` runs the shard under cProfile and fills
+    ``ShardResult.profile``.
     """
     registry = registry if registry is not None else default_registry(config)
     # Start every shard from cold value-keyed caches so cache hit/miss
@@ -215,7 +237,16 @@ def run_shard(
     # process; workers=N does not).  Output-safe: the caches are keyed
     # by value, so clearing only costs recomputation.
     reset_process_caches()
+    if events:
+        EVENTS.enable()
+        EVENTS.drain()  # discard leftovers from a reused process
+        EVENTS.emit("shard.start", shard=shard_id, shards=shard_count)
+    if profile_dir is not None:
+        PROFILER.reset()
+        PROFILER.enable()
+    profile_handle = start_shard_profile(profile_dir)
     metrics_base = METRICS.snapshot()
+    push_base = metrics_base
     shard_started = time.perf_counter()
     day_seconds: list = []
     chaos = getattr(config, "chaos", None)
@@ -248,9 +279,11 @@ def run_shard(
     schedules = [(experiment, experiment.schedule(config)) for experiment in registry]
     for day in range(config.days):
         day_started = time.perf_counter()
+        day_grabs_start = grabber.grabs
         day_start = day * DAY
         if ecosystem.clock.now() < day_start:
-            ecosystem.advance_to(day_start)
+            with PROFILER.phase("ecosystem.advance"):
+                ecosystem.advance_to(day_start)
         if progress is not None:
             progress(day, config.days)
 
@@ -278,7 +311,7 @@ def run_shard(
                 experiment=experiment.name,
                 day=day,
                 shard=shard_id,
-            ):
+            ), PROFILER.phase(f"experiment.{experiment.name}"):
                 experiment.run_day(ctx, day)
             day_grabs = grabber.grabs - grabs_before
             stats.scans_by_experiment[experiment.name] = (
@@ -288,9 +321,23 @@ def run_shard(
                 "experiment.grabs", experiment=experiment.name
             ).inc(day_grabs)
         day_seconds.append(round(time.perf_counter() - day_started, 6))
+        day_total_grabs = grabber.grabs - day_grabs_start
+        if events:
+            EVENTS.emit(
+                "shard.day", shard=shard_id, day=day, days=config.days,
+                grabs=day_total_grabs, seconds=day_seconds[-1],
+            )
+        if live_push is not None:
+            # Diagnostics-only: the delta feeds the parent's live
+            # gauges; the merged output still comes from the full-run
+            # delta below, so pushes never affect final metrics.
+            delta = METRICS.snapshot_delta(push_base)
+            push_base = METRICS.snapshot()
+            live_push(day, config.days, day_total_grabs, delta)
 
-    for experiment in registry:
-        experiment.finalize(ctx)
+    with PROFILER.phase("finalize"):
+        for experiment in registry:
+            experiment.finalize(ctx)
 
     # End-of-study, view-independent metadata (identical in every shard).
     as_names = {}
@@ -298,17 +345,18 @@ def run_shard(
         as_names[autonomous_system.asn] = autonomous_system.name
     ctx.meta["as_names"] = as_names
     if not ctx.meta.get("domain_asn"):
-        domain_asn = ctx.meta.setdefault("domain_asn", {})
-        domain_ip = ctx.meta.setdefault("domain_ip", {})
-        for rank, name in ecosystem.alexa_list():
-            try:
-                addresses = ecosystem.dns.resolve_all(name)
-            except KeyError:
-                continue
-            autonomous_system = ecosystem.as_registry.lookup(addresses[0])
-            if autonomous_system is not None:
-                domain_asn[name] = autonomous_system.asn
-            domain_ip[name] = str(addresses[0])
+        with PROFILER.phase("metadata"):
+            domain_asn = ctx.meta.setdefault("domain_asn", {})
+            domain_ip = ctx.meta.setdefault("domain_ip", {})
+            for rank, name in ecosystem.alexa_list():
+                try:
+                    addresses = ecosystem.dns.resolve_all(name)
+                except KeyError:
+                    continue
+                autonomous_system = ecosystem.as_registry.lookup(addresses[0])
+                if autonomous_system is not None:
+                    domain_asn[name] = autonomous_system.asn
+                domain_ip[name] = str(addresses[0])
     # A probe scheduled late in the study may run past the nominal end;
     # only advance if the clock is still behind it.
     if ecosystem.clock.now() < config.days * DAY:
@@ -320,6 +368,21 @@ def run_shard(
     stats.grabs = grabber.grabs
     stats.records_by_channel = sink.counts()
     sink.close()
+    pstats_name = stop_shard_profile(profile_handle, profile_dir, shard_id)
+    profile: dict = {}
+    if profile_dir is not None:
+        PROFILER.disable()
+        profile = PROFILER.snapshot()
+        if pstats_name is not None:
+            profile["pstats"] = pstats_name
+    if events:
+        EVENTS.emit(
+            "shard.end", shard=shard_id, grabs=stats.grabs,
+            retries=grabber.retries,
+        )
+    shard_events = EVENTS.drain() if events else []
+    if events:
+        EVENTS.disable()
     return ShardResult(
         shard_id=shard_id,
         shard_count=shard_count,
@@ -331,6 +394,8 @@ def run_shard(
         day_seconds=day_seconds,
         elapsed_seconds=round(time.perf_counter() - shard_started, 6),
         spans=TRACER.drain() if TRACER.enabled else [],
+        events=shard_events,
+        profile=profile,
     )
 
 
@@ -339,13 +404,23 @@ def _shard_worker(args) -> ShardResult:
 
     Rebuilding from ``EcosystemConfig`` (rather than pickling a live
     ecosystem) keeps the task payload tiny and guarantees every shard's
-    view is the same deterministic function of the seed.
+    view is the same deterministic function of the seed.  ``spool_dir``
+    carries the live plane's push protocol across the process boundary
+    (see :class:`repro.obs.exporter.SpoolPush`).
     """
     from ..hosting import build_ecosystem
 
-    ecosystem_config, study_config, shard_id, shard_count, stream_dir, trace = args
+    (
+        ecosystem_config, study_config, shard_id, shard_count, stream_dir,
+        trace, spool_dir, events, profile_dir,
+    ) = args
     if trace:
         TRACER.enable()
+    live_push = None
+    if spool_dir is not None:
+        from ..obs.exporter import SpoolPush
+
+        live_push = SpoolPush(spool_dir, shard_id).push
     ecosystem = build_ecosystem(ecosystem_config)
     return run_shard(
         ecosystem,
@@ -353,6 +428,9 @@ def _shard_worker(args) -> ShardResult:
         shard_id=shard_id,
         shard_count=shard_count,
         stream_dir=stream_dir,
+        live_push=live_push,
+        events=events,
+        profile_dir=profile_dir,
     )
 
 
@@ -380,6 +458,8 @@ class StudyEngine:
         telemetry_dir: Optional[str] = None,
         resume: bool = False,
         fail_fast: bool = False,
+        live=None,
+        profile_dir: Optional[str] = None,
     ):
         """Run the study; returns ``(StudyDataset, StudyStats)``.
 
@@ -403,6 +483,16 @@ class StudyEngine:
         shard failure the engine raises :class:`StudyAborted` carrying
         the checkpoint path; ``fail_fast`` stops dispatching new shards
         immediately instead of letting siblings finish and checkpoint.
+
+        ``live`` accepts a :class:`repro.obs.exporter.LivePlane` (or
+        anything with its hook surface): the engine feeds it study /
+        shard / day completions and metric deltas while running.  The
+        caller owns the plane's lifecycle (start/stop) — on
+        :class:`StudyAborted` the caller should invoke
+        ``live.study_aborted``.  ``profile_dir`` runs every shard under
+        cProfile and aggregates the dumps there after the merge.  Both
+        are diagnostics-only: dataset bytes are identical with them on
+        or off.
         """
         from .study import StudyDataset  # local import to avoid a cycle
 
@@ -450,9 +540,24 @@ class StudyEngine:
             shard_id for shard_id in range(shards) if shard_id not in completed
         ]
 
+        if live is not None:
+            live.study_started(
+                shards=shards, days=config.days, workers=workers,
+                resumed=bool(completed),
+            )
+            for shard_id in sorted(completed):
+                live.record_shard(completed[shard_id], restored=True)
+        events = live is not None and live.events_enabled
+
         if not todo:
             results = list(completed.values())
         elif shards == 1:
+            live_push = None
+            if live is not None:
+                live_push = (
+                    lambda day, days, grabs, delta:
+                    live.day_completed(0, day, days, grabs, delta)
+                )
             result = run_shard(
                 ecosystem,
                 config,
@@ -462,21 +567,34 @@ class StudyEngine:
                 if stream_dir else None,
                 registry=self.registry,
                 progress=progress,
+                live_push=live_push,
+                events=events,
+                profile_dir=profile_dir,
             )
             if store is not None:
                 store.save_shard(result)
+            if live is not None:
+                live.record_shard(result, checkpointed=store is not None)
             results = [result]
         else:
             results = list(completed.values()) + self._run_sharded(
                 ecosystem, shards, workers, stream_dir, shard_progress,
                 trace=telemetry_dir is not None,
                 todo=todo, store=store, fail_fast=fail_fast,
+                live=live, events=events, profile_dir=profile_dir,
             )
 
         dataset, stats = self._merge(results, stream_dir, workers)
         if store is not None:
             store.clear()
         stats.elapsed_seconds = time.perf_counter() - run_start
+        if profile_dir is not None:
+            ordered = sorted(results, key=lambda r: r.shard_id)
+            write_profile_summary(
+                profile_dir, [result.profile for result in ordered]
+            )
+        if live is not None:
+            live.study_finished(stats)
         if telemetry_dir is not None:
             try:
                 self._write_telemetry(telemetry_dir, ecosystem, results, stats)
@@ -497,6 +615,9 @@ class StudyEngine:
         todo: Optional[list[int]] = None,
         store: Optional[CheckpointStore] = None,
         fail_fast: bool = False,
+        live=None,
+        events: bool = False,
+        profile_dir: Optional[str] = None,
     ) -> list[ShardResult]:
         """Execute the shards in ``todo`` (default: all), checkpointing
         each completed shard as it lands.  Raises :class:`StudyAborted`
@@ -521,6 +642,8 @@ class StudyEngine:
                 store.save_shard(result)
             results.append(result)
             pending.set(len(todo) - len(results) - len(failures))
+            if live is not None:
+                live.record_shard(result, checkpointed=store is not None)
             if shard_progress is not None:
                 shard_progress(result.shard_id, shards, config.days, config.days)
 
@@ -534,6 +657,12 @@ class StudyEngine:
                     if shard_progress is not None:
                         shard_progress(_sid, shards, day, days)
 
+                live_push = None
+                if live is not None:
+                    live_push = (
+                        lambda day, days, grabs, delta, _sid=shard_id:
+                        live.day_completed(_sid, day, days, grabs, delta)
+                    )
                 try:
                     result = run_shard(
                         view,
@@ -543,6 +672,9 @@ class StudyEngine:
                         stream_dir=subdir(shard_id),
                         registry=self.registry,
                         progress=day_progress,
+                        live_push=live_push,
+                        events=events,
+                        profile_dir=profile_dir,
                     )
                 except Exception as exc:
                     failures.append((shard_id, exc))
@@ -558,29 +690,46 @@ class StudyEngine:
                 "worker processes; run with workers=1 or register via "
                 "default_registry"
             )
-        with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
-            futures = {
-                pool.submit(_shard_worker, (
-                    ecosystem.config, config, shard_id, shards,
-                    subdir(shard_id), trace,
-                )): shard_id
-                for shard_id in todo
-            }
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in finished:
-                    exc = future.exception()
-                    if exc is not None:
-                        failures.append((futures[future], exc))
-                        if fail_fast:
-                            for leftover in outstanding:
-                                leftover.cancel()
-                            outstanding = set()
-                        continue
-                    record(future.result())
+        spool_dir: Optional[str] = None
+        poller = None
+        if live is not None:
+            import tempfile
+
+            from ..obs.exporter import SpoolPoller
+
+            spool_dir = tempfile.mkdtemp(prefix="repro-obs-spool-")
+            poller = SpoolPoller(spool_dir, live)
+            poller.start()
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+                futures = {
+                    pool.submit(_shard_worker, (
+                        ecosystem.config, config, shard_id, shards,
+                        subdir(shard_id), trace, spool_dir, events,
+                        profile_dir,
+                    )): shard_id
+                    for shard_id in todo
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        exc = future.exception()
+                        if exc is not None:
+                            failures.append((futures[future], exc))
+                            if fail_fast:
+                                for leftover in outstanding:
+                                    leftover.cancel()
+                                outstanding = set()
+                            continue
+                        record(future.result())
+        finally:
+            if poller is not None:
+                poller.stop()  # final drain included
+            if spool_dir is not None:
+                shutil.rmtree(spool_dir, ignore_errors=True)
         return self._finish_sharded(results, failures, store)
 
     @staticmethod

@@ -34,7 +34,9 @@ from ..faults.retry import DEFAULT_RETRY_POLICY, RETRYABLE_REASONS, CircuitBreak
 from ..hosting.ecosystem import Ecosystem
 from ..netsim.dns import NXDomainError
 from ..netsim.network import ConnectTimeout
+from ..obs.events import EVENTS
 from ..obs.metrics import DEFAULT_SECONDS_BUCKETS, METRICS
+from ..obs.profiling import PROFILER
 from ..obs.trace import TRACER
 from ..tls.ciphers import CipherSuite, MODERN_BROWSER_OFFER
 from ..tls.client import HandshakeResult, TLSClient
@@ -159,6 +161,11 @@ class ZGrabber:
                 break
             self.retries += 1
             _GRAB_RETRY[reason].value += 1
+            if EVENTS.enabled:
+                EVENTS.emit(
+                    "scanner.retry", level="warning",
+                    domain=domain, reason=reason, attempt=attempts,
+                )
             # Backoff advances *virtual* time through the ecosystem so
             # scheduled events (STEK rotations, churn) fire while the
             # scanner waits, just as during a real scan.
@@ -167,8 +174,12 @@ class ZGrabber:
             transition = breaker.record(domain, reason is None, clock.now())
             if transition == "opened":
                 _BREAKER_OPENED.value += 1
+                if EVENTS.enabled:
+                    EVENTS.emit("breaker.opened", level="warning", domain=domain)
             elif transition == "closed":
                 _BREAKER_CLOSED.value += 1
+                if EVENTS.enabled:
+                    EVENTS.emit("breaker.closed", domain=domain)
             _BREAKER_OPEN.set(breaker.open_count)
         if policy.enabled:
             _GRAB_ATTEMPTS.observe(float(attempts))
@@ -199,7 +210,9 @@ class ZGrabber:
             except NXDomainError:
                 self.failures += 1
                 _GRAB_FAILURE["nxdomain"].value += 1
-                _GRAB_SECONDS.observe(time.perf_counter() - started)
+                elapsed = time.perf_counter() - started
+                _GRAB_SECONDS.observe(elapsed)
+                PROFILER.observe_grab(domain, elapsed)
                 return None, "", "nxdomain", "nxdomain"
             try:
                 server = self.ecosystem.network.connect(address, port, domain=domain)
@@ -207,7 +220,9 @@ class ZGrabber:
                 self.failures += 1
                 reason = getattr(exc, "reason", "connect_timeout")
                 _GRAB_FAILURE[reason].value += 1
-                _GRAB_SECONDS.observe(time.perf_counter() - started)
+                elapsed = time.perf_counter() - started
+                _GRAB_SECONDS.observe(elapsed)
+                PROFILER.observe_grab(domain, elapsed)
                 return None, str(address), f"connect: {exc}", reason
             result = self.client.connect(
                 server,
@@ -224,7 +239,9 @@ class ZGrabber:
             self.failures += 1
             reason = getattr(server, "injected_fault", None) or "handshake"
             _GRAB_FAILURE[reason].value += 1
-        _GRAB_SECONDS.observe(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        _GRAB_SECONDS.observe(elapsed)
+        PROFILER.observe_grab(domain, elapsed)
         return result, str(address), result.error, reason
 
     # -- observation construction -------------------------------------------

@@ -189,6 +189,8 @@ def run_study(
     shard_progress: Optional[Callable[[int, int, int, int], None]] = None,
     resume: bool = False,
     fail_fast: bool = False,
+    live=None,
+    profile_dir: Optional[str] = None,
 ) -> StudyDataset:
     """Run the full measurement study against ``ecosystem``.
 
@@ -213,6 +215,8 @@ def run_study(
         shard_progress=shard_progress,
         resume=resume,
         fail_fast=fail_fast,
+        live=live,
+        profile_dir=profile_dir,
     )
     return dataset
 
@@ -229,12 +233,17 @@ def run_study_with_stats(
     shard_progress: Optional[Callable[[int, int, int, int], None]] = None,
     resume: bool = False,
     fail_fast: bool = False,
+    live=None,
+    profile_dir: Optional[str] = None,
 ) -> tuple[StudyDataset, StudyStats]:
     """Like :func:`run_study` but also returns a :class:`StudyStats`.
 
     ``telemetry_dir`` additionally writes a run manifest, merged
     metrics, and trace spans there (see :mod:`repro.obs`); it must not
-    point into the dataset directory.
+    point into the dataset directory.  ``live`` feeds a running
+    :class:`repro.obs.exporter.LivePlane` (progress, live metrics,
+    events) and ``profile_dir`` collects per-shard cProfile dumps —
+    both diagnostics-only, never affecting dataset bytes.
     """
     config = config or StudyConfig()
     engine = StudyEngine(config)
@@ -248,6 +257,8 @@ def run_study_with_stats(
         telemetry_dir=telemetry_dir,
         resume=resume,
         fail_fast=fail_fast,
+        live=live,
+        profile_dir=profile_dir,
     )
 
 

@@ -7,6 +7,7 @@ from repro.obs.manifest import (
     SCHEMA,
     build_manifest,
     config_dict,
+    git_describe,
     load_manifest,
     load_metrics,
     validate_manifest,
@@ -98,3 +99,54 @@ class TestPersistence:
         write_metrics(str(tmp_path), snapshot)
         assert load_metrics(str(tmp_path)) == snapshot
         assert load_metrics(str(tmp_path / "absent")) == {}
+
+
+class TestGitDescribe:
+    """Provenance lookup must degrade, never raise (satellite PR-8)."""
+
+    def test_missing_git_binary(self, monkeypatch):
+        import subprocess
+
+        def boom(*args, **kwargs):
+            raise FileNotFoundError("git: command not found")
+
+        monkeypatch.setattr(subprocess, "run", boom)
+        assert git_describe() == "unknown"
+
+    def test_nonzero_exit(self, monkeypatch):
+        import subprocess
+
+        completed = subprocess.CompletedProcess(
+            args=["git"], returncode=128, stdout="", stderr="not a repo"
+        )
+        monkeypatch.setattr(subprocess, "run", lambda *a, **kw: completed)
+        assert git_describe() == "unknown"
+
+    def test_timeout(self, monkeypatch):
+        import subprocess
+
+        def hang(*args, **kwargs):
+            raise subprocess.TimeoutExpired(cmd=["git"], timeout=10)
+
+        monkeypatch.setattr(subprocess, "run", hang)
+        assert git_describe() == "unknown"
+
+    def test_empty_stdout(self, monkeypatch):
+        import subprocess
+
+        completed = subprocess.CompletedProcess(
+            args=["git"], returncode=0, stdout="\n", stderr=""
+        )
+        monkeypatch.setattr(subprocess, "run", lambda *a, **kw: completed)
+        assert git_describe() == "unknown"
+
+    def test_manifest_still_builds_without_git(self, monkeypatch):
+        import subprocess
+
+        def boom(*args, **kwargs):
+            raise FileNotFoundError("git: command not found")
+
+        monkeypatch.setattr(subprocess, "run", boom)
+        manifest = build_manifest(run=_valid_run())
+        assert manifest["git"]["describe"] == "unknown"
+        assert validate_manifest(manifest) == []

@@ -1,0 +1,106 @@
+"""Progress/ETA tracker: shard-day accounting, idempotency, rendering."""
+
+from repro.obs.progress import (
+    ProgressTracker,
+    format_duration,
+    render_progress,
+)
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def __call__(self) -> float:
+        return self.value
+
+
+def _tracker():
+    clock = _FakeClock()
+    tracker = ProgressTracker(clock=clock)
+    return tracker, clock
+
+
+class TestAccounting:
+    def test_initial_snapshot_idle(self):
+        tracker, _ = _tracker()
+        snap = tracker.snapshot()
+        assert snap["state"] == "idle"
+        assert snap["fraction"] == 0.0
+        assert snap["eta_s"] is None
+
+    def test_day_units_accumulate(self):
+        tracker, clock = _tracker()
+        tracker.begin(shards=2, days=3)
+        clock.value = 10.0
+        tracker.day_completed(0, day=0, days=3, grabs=100)
+        tracker.day_completed(0, day=1, days=3, grabs=50)
+        snap = tracker.snapshot()
+        assert snap["day_units"] == {"total": 6, "completed": 2}
+        assert snap["grabs"] == 150
+        assert snap["fraction"] == round(2 / 6, 6)
+
+    def test_day_pushes_idempotent(self):
+        tracker, _ = _tracker()
+        tracker.begin(shards=1, days=2)
+        tracker.day_completed(0, day=0, days=2)
+        tracker.day_completed(0, day=0, days=2)  # duplicate push
+        assert tracker.snapshot()["day_units"]["completed"] == 1
+
+    def test_shard_completed_fills_remaining_days(self):
+        tracker, _ = _tracker()
+        tracker.begin(shards=2, days=3)
+        tracker.day_completed(0, day=0, days=3)
+        tracker.shard_completed(0)  # spool lagged: only 1 of 3 days seen
+        snap = tracker.snapshot()
+        assert snap["shards"]["completed"] == 1
+        assert snap["day_units"]["completed"] == 3
+
+    def test_eta_uses_live_rate_only(self):
+        tracker, clock = _tracker()
+        tracker.begin(shards=2, days=2)
+        # One shard restored from a checkpoint: its units complete
+        # instantly and must not poison the rate estimate.
+        tracker.shard_completed(0, restored=True)
+        clock.value = 8.0
+        tracker.day_completed(1, day=0, days=2)
+        snap = tracker.snapshot()
+        # 1 live unit in 8s, 1 unit remaining -> ~8s to go.
+        assert snap["eta_s"] == 8.0
+
+    def test_finish_zeroes_eta(self):
+        tracker, clock = _tracker()
+        tracker.begin(shards=1, days=1)
+        tracker.day_completed(0, day=0, days=1)
+        tracker.shard_completed(0)
+        clock.value = 3.0
+        tracker.finish()
+        snap = tracker.snapshot()
+        assert snap["state"] == "done"
+        assert snap["eta_s"] == 0.0
+        assert snap["elapsed_s"] == 3.0
+
+    def test_abort_state(self):
+        tracker, _ = _tracker()
+        tracker.begin(shards=1, days=1)
+        tracker.finish(aborted=True)
+        assert tracker.snapshot()["state"] == "aborted"
+
+
+class TestRendering:
+    def test_format_duration(self):
+        assert format_duration(None) == "?"
+        assert format_duration(5.4) == "5s"
+        assert format_duration(94) == "1m34s"
+        assert format_duration(3720) == "1h02m"
+
+    def test_render_progress_line(self):
+        tracker, clock = _tracker()
+        tracker.begin(shards=4, days=2)
+        clock.value = 10.0
+        tracker.day_completed(0, day=0, days=2, grabs=500)
+        line = render_progress(tracker.snapshot())
+        assert "shards 0/4" in line
+        assert "days 1/8" in line
+        assert "eta" in line
+        assert "\n" not in line

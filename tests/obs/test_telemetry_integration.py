@@ -152,6 +152,33 @@ class TestOutputNeutrality:
         manifest = load_manifest(str(tmp_path / "telemetry"))
         assert validate_manifest(manifest) == []
 
+    def test_golden_digest_unchanged_with_live_plane_enabled(self, tmp_path):
+        """The full reference study with the PR-8 live plane on —
+        HTTP exporter, event log, progress, per-shard profiling — is
+        still byte-for-byte the golden dataset."""
+        from conftest import SMALL_POPULATION as POP, SMALL_SEED
+
+        from repro.obs.exporter import LivePlane
+
+        ecosystem = build_ecosystem(
+            EcosystemConfig(population=POP, seed=SMALL_SEED)
+        )
+        plane = LivePlane(
+            serve_port=0, events_path=str(tmp_path / "events.jsonl")
+        ).start()
+        try:
+            dataset, _ = run_study_with_stats(
+                ecosystem,
+                small_study_config(),
+                live=plane,
+                profile_dir=str(tmp_path / "profile"),
+            )
+        finally:
+            plane.stop()
+        out = tmp_path / "golden"
+        save_dataset(dataset, str(out))
+        assert _dataset_digest(out) == GOLDEN_DIGEST
+
     def test_telemetry_dir_may_not_be_the_dataset_dir(self, tmp_path):
         ecosystem = build_ecosystem(
             EcosystemConfig(population=SMALL_POPULATION, seed=BENCH_SEED)

@@ -284,3 +284,105 @@ def test_resume_continues_a_partial_run(tmp_path, capsys):
     assert "dataset saved" in capsys.readouterr().out
     assert os.path.exists(os.path.join(out, "meta.json"))
     assert not os.path.exists(os.path.join(stream, "checkpoint"))
+
+
+# -- PR-8: live observability plane ------------------------------------
+
+
+@pytest.fixture(scope="module")
+def observed_run(tmp_path_factory):
+    """One tiny study with the full plane on: events + metrics + profile."""
+    base = tmp_path_factory.mktemp("cli-obs")
+    out = base / "dataset"
+    telemetry = base / "telemetry"
+    events = base / "events.jsonl"
+    code = main([
+        "study", "--days", "2", "--out", str(out), "--shards", "2",
+        "--telemetry-dir", str(telemetry), "--events", str(events),
+        "--serve-metrics", "0", "--profile", "-q",
+        "--population", "420", "--seed", "3",
+    ])
+    assert code == 0
+    return base
+
+
+def test_events_validate_and_summary(observed_run, capsys):
+    events = str(observed_run / "events.jsonl")
+    assert main(["events", events, "--validate"]) == 0
+    assert "repro-events/1 OK" in capsys.readouterr().out
+    assert main(["events", events, "--summary"]) == 0
+    out = capsys.readouterr().out
+    assert "shard.day" in out
+    assert main(["events", events, "--level", "warning"]) == 0
+
+
+def test_events_bad_file_exits_1(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["events", str(bad)]) == 1
+    assert "cannot load events" in capsys.readouterr().err
+
+
+def test_events_corrupted_log_fails_validation(observed_run, tmp_path, capsys):
+    import json
+
+    source = (observed_run / "events.jsonl").read_text().splitlines()
+    records = [json.loads(line) for line in source]
+    records[1]["seq"] = 99
+    mangled = tmp_path / "mangled.jsonl"
+    mangled.write_text(
+        "\n".join(json.dumps(r) for r in records) + "\n")
+    assert main(["events", str(mangled), "--validate"]) == 1
+    assert "seq" in capsys.readouterr().err
+
+
+def test_stats_includes_profile_section(observed_run, capsys):
+    assert main(["stats", str(observed_run / "telemetry")]) == 0
+    out = capsys.readouterr().out
+    assert "profiling" in out
+    assert "time by phase" in out
+
+
+def test_report_events_provenance(observed_run, capsys):
+    assert main(["report", str(observed_run / "dataset"),
+                 "--min-days", "2",
+                 "--events", str(observed_run / "events.jsonl")]) == 0
+    out = capsys.readouterr().out
+    assert "run provenance (from event log)" in out
+    assert "chaos injections" in out
+
+
+def test_watch_telemetry_dir(observed_run, capsys):
+    assert main(["watch", str(observed_run / "telemetry")]) == 0
+    out = capsys.readouterr().out
+    assert "finished" in out
+
+
+def test_watch_missing_target_exits_1(tmp_path, capsys):
+    assert main(["watch", str(tmp_path / "nothing")]) == 1
+
+
+def test_watch_unreachable_url_exits_1(capsys):
+    assert main(["watch", "http://127.0.0.1:1", "--once",
+                 "--interval", "0.01"]) == 1
+
+
+def test_profile_requires_telemetry_dir(tmp_path, capsys):
+    assert main(["study", "--out", str(tmp_path / "o"), "--profile",
+                 "-q"] + ECO_ARGS) == 2
+    assert "--telemetry-dir" in capsys.readouterr().err
+
+
+def test_watch_live_study_over_http(tmp_path, capsys):
+    """`repro watch --once` against a LivePlane-backed server."""
+    from repro.obs.exporter import LivePlane
+
+    plane = LivePlane(serve_port=0).start()
+    try:
+        plane.study_started(shards=2, days=2, workers=1)
+        plane.progress.day_completed(0, day=0, days=2, grabs=10)
+        assert main(["watch", plane.url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "days 1/4" in out
+    finally:
+        plane.stop()
