@@ -8,7 +8,10 @@ tracks two layers on every PR:
   ticket seal/open under one STEK, CBC, RSA-CRT signing, EC scalar
   multiplication, full and abbreviated handshakes);
 * **e2e** — wall-clock and grabs/sec for a small reference study run
-  end-to-end through the sharded scan engine;
+  end-to-end through the sharded scan engine, plus a ``scale_study``
+  section that pushes a large daily-sweep-only population through the
+  event-driven core (``concurrency=2048``, streamed to disk) and
+  records RSS before/after so memory stays part of the trajectory;
 * **analysis** — ``report`` + ``audit`` wall-clock on a synthetic
   corpus: the legacy in-memory path versus the streaming engine
   (:mod:`repro.analysis`) cold at 1 and 4 workers and with a warm
@@ -275,6 +278,67 @@ def run_e2e(quick: bool) -> dict:
     }
 
 
+# --- scale study (event-driven scan core) ------------------------------
+
+def run_scale(quick: bool, population: Optional[int] = None) -> dict:
+    """Daily-sweep throughput at scan scale through the event-driven core.
+
+    Unlike the reference study (small population, every experiment
+    enabled), this section isolates the scan engine itself: a large
+    population, daily sweeps only, ``concurrency=2048`` in-flight
+    handshakes, and observations streamed to disk — the configuration
+    SCALING.md recommends for real studies.  Records RSS after the
+    ecosystem build and at peak so memory growth under load is part of
+    the cross-PR trajectory (streaming keeps it near-flat; the delta is
+    per-STEK key schedules and scan bookkeeping, not observations).
+    """
+    import shutil
+    import tempfile
+
+    from .hosting import EcosystemConfig, build_ecosystem
+    from .scanner import StudyConfig, run_study_with_stats
+
+    if population is None:
+        population = 2_000 if quick else 10_000
+
+    def _rss_kb() -> int:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - linux CI
+            peak //= 1024
+        return peak
+
+    ecosystem = build_ecosystem(EcosystemConfig(population=population, seed=2016))
+    rss_after_build = _rss_kb()
+    stream_dir = tempfile.mkdtemp(prefix="repro-bench-scale-")
+    config = StudyConfig(
+        days=2,
+        seed=404,
+        run_support_scans=False,
+        run_crossdomain=False,
+        run_probes=False,
+        concurrency=2048,
+        stream_dir=stream_dir,
+    )
+    try:
+        _, stats = run_study_with_stats(ecosystem, config)
+    finally:
+        shutil.rmtree(stream_dir, ignore_errors=True)
+    return {
+        "scale_study": {
+            "population": population,
+            "days": config.days,
+            "concurrency": config.concurrency,
+            "grabs": stats.grabs,
+            "seconds": round(stats.elapsed_seconds, 3),
+            "grabs_per_sec": round(stats.grabs_per_sec, 2),
+            "rss_after_build_kb": rss_after_build,
+            "rss_peak_kb": _rss_kb(),
+        },
+    }
+
+
 # --- streaming analysis ------------------------------------------------
 
 def _synth_analysis_corpus(directory: str, domains: int, days: int) -> dict:
@@ -475,6 +539,9 @@ _SPEEDUP_KEYS = (
     ("micro", "full_handshake", "ops_per_sec"),
     ("micro", "abbreviated_handshake", "ops_per_sec"),
     ("e2e", "reference_study", "grabs_per_sec"),
+    # Absent from baselines captured before the event-driven scan core
+    # landed; compute_speedups silently skips metrics a baseline lacks.
+    ("e2e", "scale_study", "grabs_per_sec"),
 )
 
 
@@ -502,14 +569,35 @@ def run_bench(
     label: str = "dev",
     baseline_path: Optional[str] = None,
     micro_seconds: Optional[float] = None,
+    scale_population: Optional[int] = None,
 ) -> dict:
+    """Run every benchmark tier and return the JSON-serializable report.
+
+    With ``baseline_path`` the named prior report is merged in under
+    ``"baseline"`` and speedup ratios are computed for the headline
+    metrics (metrics absent from the baseline are skipped).
+    """
     seconds = micro_seconds if micro_seconds is not None else (0.1 if quick else 0.5)
+    micro = run_micro(seconds)
+    e2e = run_e2e(quick)
+    scale = run_scale(quick)
+    e2e.update(scale)
+    if (
+        scale_population is not None
+        and scale_population != scale["scale_study"]["population"]
+    ):
+        # Record the larger smoke *alongside* the default-population
+        # scale study, not instead of it: cross-PR speedup tracking
+        # keys off ``scale_study``, which must stay comparable.
+        extra = run_scale(quick, population=scale_population)
+        key = f"scale_study_{scale_population // 1000}k"
+        e2e[key] = extra["scale_study"]
     report = {
         "label": label,
         "python": sys.version.split()[0],
         "quick": quick,
-        "micro": run_micro(seconds),
-        "e2e": run_e2e(quick),
+        "micro": micro,
+        "e2e": e2e,
         "analysis": run_analysis(quick),
         "resources": _resource_usage(),
     }
@@ -526,6 +614,7 @@ def run_bench(
 
 
 def render(report: dict) -> str:
+    """Format a report dict as the human-readable console table."""
     lines = [f"benchmark report ({report['label']}, python {report['python']})"]
     width = max(len(name) for name in report["micro"])
     for name, stats in report["micro"].items():
@@ -533,10 +622,18 @@ def render(report: dict) -> str:
     for name, stats in report["e2e"].items():
         if name in ("caches", "observability"):
             continue
-        lines.append(
+        line = (
             f"  {name:<{width}}  {stats['grabs_per_sec']:>12,.1f} grabs/s "
             f"({stats['grabs']:,} grabs in {stats['seconds']}s)"
         )
+        if "rss_peak_kb" in stats:
+            line += (
+                f" [pop {stats['population']:,} @ concurrency "
+                f"{stats['concurrency']:,}; RSS "
+                f"{stats['rss_after_build_kb'] / 1024:,.0f}->"
+                f"{stats['rss_peak_kb'] / 1024:,.0f} MiB]"
+            )
+        lines.append(line)
     plane = report["e2e"].get("observability")
     if plane:
         lines.append(
@@ -578,6 +675,7 @@ def render(report: dict) -> str:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point (``python -m repro.bench``)."""
     parser = argparse.ArgumentParser(
         prog="repro.bench",
         description="micro + end-to-end performance benchmarks",
@@ -595,6 +693,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--micro-seconds", type=float, default=None,
                         help="seconds per microbenchmark (default 0.5, "
                              "0.1 with --quick)")
+    parser.add_argument("--scale-population", type=int, default=None,
+                        help="record an extra scale study at this population "
+                             "alongside the default one (10000, 2000 with "
+                             "--quick)")
     args = parser.parse_args(argv)
 
     report = run_bench(
@@ -602,6 +704,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         label=args.label,
         baseline_path=args.baseline,
         micro_seconds=args.micro_seconds,
+        scale_population=args.scale_population,
     )
     print(render(report))
     if args.out:

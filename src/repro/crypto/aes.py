@@ -125,7 +125,10 @@ class AES:
         self._nr = self._nk + 6
         self._rounds = range(self._nr - 1)  # hoisted out of the block loop
         self._enc_keys = self._expand_key(key)
-        self._dec_keys = self._decryption_keys(self._enc_keys)
+        # Decryption keys are derived lazily: a STEK that only ever
+        # *seals* (every full handshake on a ticket-issuing server)
+        # never pays for the InvMixColumns transform.
+        self._dec_keys: list[int] | None = None
 
     def _expand_key(self, key: bytes) -> list[int]:
         """Key schedule as a flat list of 4*(nr+1) 32-bit words."""
@@ -200,6 +203,8 @@ class AES:
     def decrypt_int(self, state: int) -> int:
         """Decrypt one block held as a 128-bit big-endian integer."""
         rk = self._dec_keys
+        if rk is None:
+            rk = self._dec_keys = self._decryption_keys(self._enc_keys)
         d0, d1, d2, d3 = _D0, _D1, _D2, _D3
         s0 = (state >> 96) ^ rk[0]
         s1 = ((state >> 64) & 0xFFFFFFFF) ^ rk[1]

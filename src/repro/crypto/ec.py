@@ -289,7 +289,12 @@ def base_point(curve: Curve) -> Point:
     return (curve.gx, curve.gy)
 
 
-_FIXED_BASE_WINDOW = 4
+# 8-bit windows: ~32 additions per 256-bit keygen instead of ~60 at
+# the cost of a once-per-curve ~8k-addition table build.  The event-
+# driven scanner regenerates a server keypair per full handshake under
+# the paper's FRESH reuse policy, so base multiplication dominates its
+# remaining crypto budget.
+_FIXED_BASE_WINDOW = 8
 _fixed_base_tables: dict[str, list[list[tuple[int, int, int]]]] = {}
 
 

@@ -17,7 +17,7 @@ argument):
 
 from __future__ import annotations
 
-from .aes import BLOCK_SIZE, aes_for_key
+from .aes import AES, BLOCK_SIZE, aes_for_key
 
 
 class PaddingError(ValueError):
@@ -45,9 +45,20 @@ def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
 
 def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
     """AES-CBC encrypt ``plaintext`` (PKCS#7 padded) under ``key``/``iv``."""
+    return cbc_encrypt_with(aes_for_key(key), iv, plaintext)
+
+
+def cbc_encrypt_with(cipher: "AES", iv: bytes, plaintext: bytes) -> bytes:
+    """:func:`cbc_encrypt` against an already-expanded :class:`AES`.
+
+    Callers that own a long-lived key (a STEK seals tickets for its
+    whole rotation period) hold the cipher object themselves instead of
+    going through the bounded ``aes_for_key`` LRU, whose working set a
+    full-ecosystem scan of per-domain keys would otherwise cycle.
+    """
     if len(iv) != BLOCK_SIZE:
         raise ValueError("IV must be one block")
-    encrypt_int = aes_for_key(key).encrypt_int
+    encrypt_int = cipher.encrypt_int
     padded = pkcs7_pad(plaintext)
     out = bytearray()
     previous = int.from_bytes(iv, "big")
@@ -60,11 +71,16 @@ def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
 
 def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
     """AES-CBC decrypt and unpad; raises :class:`PaddingError` on bad padding."""
+    return cbc_decrypt_with(aes_for_key(key), iv, ciphertext)
+
+
+def cbc_decrypt_with(cipher: "AES", iv: bytes, ciphertext: bytes) -> bytes:
+    """:func:`cbc_decrypt` against an already-expanded :class:`AES`."""
     if len(iv) != BLOCK_SIZE:
         raise ValueError("IV must be one block")
     if not ciphertext or len(ciphertext) % BLOCK_SIZE:
         raise PaddingError("ciphertext length is not a multiple of the block size")
-    decrypt_int = aes_for_key(key).decrypt_int
+    decrypt_int = cipher.decrypt_int
     out = bytearray()
     previous = int.from_bytes(iv, "big")
     for offset in range(0, len(ciphertext), BLOCK_SIZE):
@@ -108,7 +124,9 @@ __all__ = [
     "pkcs7_pad",
     "pkcs7_unpad",
     "cbc_encrypt",
+    "cbc_encrypt_with",
     "cbc_decrypt",
+    "cbc_decrypt_with",
     "ctr_keystream",
     "ctr_xor",
 ]

@@ -15,6 +15,7 @@ experiments replayable.
 from __future__ import annotations
 
 import hmac
+from hmac import digest as _hmac_digest
 
 
 class DeterministicRandom:
@@ -57,15 +58,31 @@ class DeterministicRandom:
 
     def random_bytes(self, n: int) -> bytes:
         """Return ``n`` uniformly random bytes."""
+        # Hottest function in a full-ecosystem scan (two nonces plus the
+        # derived draws per handshake), so the HMAC-DRBG generate+update
+        # sequence is inlined against the one-shot ``hmac.digest``.  The
+        # state transitions are byte-identical to the readable
+        # ``_hmac``/``_update`` formulation used everywhere else.
         if n < 0:
             raise ValueError("cannot generate a negative number of bytes")
-        out = bytearray()
-        while len(out) < n:
-            self._value = self._hmac(self._key, self._value)
-            out.extend(self._value)
-        self._update(None)
+        key = self._key
+        if 0 < n <= self._HASH_LEN:
+            value = _hmac_digest(key, self._value, "sha256")
+            out = value[:n]
+        else:  # n == 0 leaves the value chain unadvanced, as the loop does
+            chunks = []
+            value = self._value
+            total = 0
+            while total < n:
+                value = _hmac_digest(key, value, "sha256")
+                chunks.append(value)
+                total += self._HASH_LEN
+            out = b"".join(chunks)[:n]
+        # _update(None): re-key, then advance the value chain.
+        self._key = key = _hmac_digest(key, value + b"\x00", "sha256")
+        self._value = _hmac_digest(key, value, "sha256")
         self.bytes_generated += n
-        return bytes(out[:n])
+        return out
 
     def random_int(self, bits: int) -> int:
         """Return a uniformly random integer with at most ``bits`` bits."""

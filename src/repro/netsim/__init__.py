@@ -3,6 +3,7 @@
 from .address import AddressAllocator, CIDRBlock, IPv4Address
 from .clock import DAY, HOUR, MINUTE, SECOND, WEEK, SimClock, format_duration
 from .dns import DNSZone, NXDomainError
+from .eventloop import EventLoop, Task, Wait
 from .network import ConnectTimeout, Endpoint, HTTPS_PORT, Network
 from .topology import ASRegistry, AutonomousSystem
 
@@ -19,6 +20,9 @@ __all__ = [
     "WEEK",
     "DNSZone",
     "NXDomainError",
+    "EventLoop",
+    "Task",
+    "Wait",
     "Network",
     "Endpoint",
     "ConnectTimeout",

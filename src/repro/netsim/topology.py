@@ -39,10 +39,18 @@ class AutonomousSystem:
 
 
 class ASRegistry:
-    """Registry of all ASes with longest-prefix-match style lookup."""
+    """Registry of all ASes with longest-prefix-match lookup."""
 
     def __init__(self) -> None:
         self._by_asn: dict[int, AutonomousSystem] = {}
+        # Lazily built longest-prefix-match index: a (prefix, table)
+        # list sorted longest prefix first, where each table maps
+        # ``base >> (32 - prefix)`` to its AS.  A 100k-domain ecosystem
+        # registers one AS per self-hosted domain, so the per-address
+        # linear block scan this replaces was O(population) — the
+        # end-of-study metadata pass (one lookup per domain) made AS
+        # attribution quadratic overall.
+        self._match_tables: list[tuple[int, dict[int, AutonomousSystem]]] | None = None
 
     def register(self, asn: int, name: str, blocks: list[str]) -> AutonomousSystem:
         if asn in self._by_asn:
@@ -51,21 +59,37 @@ class ASRegistry:
         for block in blocks:
             autonomous_system.add_block(CIDRBlock.parse(block))
         self._by_asn[asn] = autonomous_system
+        self._match_tables = None
         return autonomous_system
 
     def get(self, asn: int) -> AutonomousSystem:
         return self._by_asn[asn]
 
+    def _tables(self) -> list[tuple[int, dict[int, AutonomousSystem]]]:
+        tables = self._match_tables
+        if tables is None:
+            by_prefix: dict[int, dict[int, AutonomousSystem]] = {}
+            for autonomous_system in self._by_asn.values():
+                for block in autonomous_system.blocks:
+                    table = by_prefix.setdefault(block.prefix, {})
+                    key = block.base >> (32 - block.prefix) if block.prefix else 0
+                    # setdefault: at equal (prefix, base) the first
+                    # registered AS wins, matching the old strict-">"
+                    # linear scan in registration order.
+                    table.setdefault(key, autonomous_system)
+            tables = self._match_tables = sorted(
+                by_prefix.items(), key=lambda item: item[0], reverse=True
+            )
+        return tables
+
     def lookup(self, address: IPv4Address) -> AutonomousSystem | None:
-        """Which AS originates this address? (linear scan; pools are few)"""
-        best: AutonomousSystem | None = None
-        best_prefix = -1
-        for autonomous_system in self._by_asn.values():
-            for block in autonomous_system.blocks:
-                if block.contains(address) and block.prefix > best_prefix:
-                    best = autonomous_system
-                    best_prefix = block.prefix
-        return best
+        """Which AS originates this address? (longest prefix match)"""
+        value = address.value
+        for prefix, table in self._tables():
+            match = table.get(value >> (32 - prefix) if prefix else 0)
+            if match is not None:
+                return match
+        return None
 
     def all_systems(self) -> list[AutonomousSystem]:
         return sorted(self._by_asn.values(), key=lambda a: a.asn)

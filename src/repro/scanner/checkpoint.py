@@ -36,8 +36,10 @@ SCHEMA = "repro-checkpoint/1"
 RUN_NAME = "run.json"
 
 #: StudyConfig fields excluded from the fingerprint: pure execution
-#: knobs that never affect output bytes.
-_EXECUTION_FIELDS = ("workers", "stream_dir")
+#: knobs that never affect output bytes.  ``concurrency`` (event-loop
+#: batch size) and ``oracle`` (blocking reference path) are
+#: byte-equivalent by construction, so a resumed run may change them.
+_EXECUTION_FIELDS = ("workers", "stream_dir", "concurrency", "oracle")
 
 
 class CheckpointMismatch(ValueError):
@@ -59,7 +61,8 @@ def study_config_to_dict(config) -> dict:
 
 
 def study_config_from_dict(data: dict, *, workers: int = 1,
-                           stream_dir: Optional[str] = None):
+                           stream_dir: Optional[str] = None,
+                           concurrency: int = 1024, oracle: bool = False):
     """Rebuild a StudyConfig from :func:`study_config_to_dict` output."""
     from .study import StudyConfig  # local import: study imports engine
 
@@ -68,7 +71,8 @@ def study_config_from_dict(data: dict, *, workers: int = 1,
     if retry is not None and not isinstance(retry, RetryPolicy):
         retry = RetryPolicy(**retry)
     return StudyConfig(
-        **kwargs, retry=retry, workers=workers, stream_dir=stream_dir
+        **kwargs, retry=retry, workers=workers, stream_dir=stream_dir,
+        concurrency=concurrency, oracle=oracle,
     )
 
 

@@ -94,6 +94,10 @@ class StudyContext:
     today_owned: list[tuple[int, str]] = field(default_factory=list)
     full_list_size: int = 0
     meta: dict = field(default_factory=dict)
+    #: Event-loop admission batch size for sweeps; ``None`` selects the
+    #: blocking reference path (``study --oracle``).  Execution-only:
+    #: never changes dataset bytes, only buffering granularity.
+    concurrency: Optional[int] = None
 
     def owns(self, name: str) -> bool:
         return shard_of(name, self.shard_count) == self.shard_id
@@ -183,7 +187,9 @@ class DailySweepExperiment(Experiment):
         self.label = label
 
     def run_day(self, ctx: StudyContext, day: int) -> None:
-        observations = sweep(
+        # Completed batches stream straight to the shard sink instead of
+        # accumulating the whole day in memory (flat in population).
+        sweep(
             ctx.grabber,
             ctx.today_owned,
             SweepConfig(
@@ -193,8 +199,9 @@ class DailySweepExperiment(Experiment):
                 offer_tickets=self.offer_tickets,
                 label=self.label,
             ),
+            concurrency=ctx.concurrency,
+            sink=lambda batch: ctx.emit(self.channel, batch),
         )
-        ctx.emit(self.channel, observations)
 
 
 class SupportScanExperiment(Experiment):
@@ -236,19 +243,25 @@ class SupportScanExperiment(Experiment):
             ctx.full_list_size,
             len(ctx.today),
         )
-        ctx.emit(
-            f"{self.kind}_support",
-            sweep(ctx.grabber, ctx.today_owned, SweepConfig(
+        sweep(
+            ctx.grabber,
+            ctx.today_owned,
+            SweepConfig(
                 offer=self.offer,
                 offer_tickets=self.offer_tickets,
                 connections_per_domain=config.support_scan_connections,
                 window_seconds=window,
                 label=f"{self.kind}-support",
-            )),
+            ),
+            concurrency=ctx.concurrency,
+            sink=lambda batch: ctx.emit(f"{self.kind}_support", batch),
         )
-        ctx.emit(
-            f"{self.kind}_30min",
-            thirty_minute_scan(ctx.grabber, ctx.today_owned, self.offer),
+        thirty_minute_scan(
+            ctx.grabber,
+            ctx.today_owned,
+            self.offer,
+            concurrency=ctx.concurrency,
+            sink=lambda batch: ctx.emit(f"{self.kind}_30min", batch),
         )
 
 

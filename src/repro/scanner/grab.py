@@ -41,6 +41,8 @@ from ..obs.trace import TRACER
 from ..tls.ciphers import CipherSuite, MODERN_BROWSER_OFFER
 from ..tls.client import HandshakeResult, TLSClient
 from ..tls.constants import KeyExchangeKind
+from ..tls.fastpath import fast_handshake
+from ..tls.server import TLSServer
 from ..tls.session import SessionState
 from ..tls.ticket import sniff_ticket_format, extract_key_name
 from ..tls.wire import DecodeError
@@ -94,9 +96,15 @@ class ZGrabber:
         ecosystem: Ecosystem,
         rng: DeterministicRandom,
         retry=None,
+        fast: bool = True,
     ) -> None:
         self.ecosystem = ecosystem
         self._rng = rng
+        #: Use the draw-identical fast handshake (repro.tls.fastpath)
+        #: for plain scans; False forces the blocking oracle exchange.
+        #: Output bytes are identical either way — the oracle is kept
+        #: selectable for equivalence tests and `study --oracle`.
+        self.fast = fast
         self.client = TLSClient(
             rng.fork("tls-client"),
             ecosystem.trust_store,
@@ -224,16 +232,32 @@ class ZGrabber:
                 _GRAB_SECONDS.observe(elapsed)
                 PROFILER.observe_grab(domain, elapsed)
                 return None, str(address), f"connect: {exc}", reason
-            result = self.client.connect(
-                server,
-                server_name=domain,
-                offer=offer,
-                session_id=session_id,
-                ticket=ticket,
-                saved_session=saved_session,
-                offer_tickets=offer_tickets,
-                capture=capture,
-            )
+            # Fault-injected connections (ImpairedServer wrappers) and
+            # captures need real record flights, so they take the
+            # blocking oracle; everything else skips the unobservable
+            # crypto with identical draws and side effects.
+            if self.fast and not capture and isinstance(server, TLSServer):
+                result = fast_handshake(
+                    self.client,
+                    server,
+                    server_name=domain,
+                    offer=offer,
+                    session_id=session_id,
+                    ticket=ticket,
+                    saved_session=saved_session,
+                    offer_tickets=offer_tickets,
+                )
+            else:
+                result = self.client.connect(
+                    server,
+                    server_name=domain,
+                    offer=offer,
+                    session_id=session_id,
+                    ticket=ticket,
+                    saved_session=saved_session,
+                    offer_tickets=offer_tickets,
+                    capture=capture,
+                )
         reason = None
         if not result.ok:
             self.failures += 1

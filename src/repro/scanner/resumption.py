@@ -7,19 +7,20 @@ session tickets, reissued tickets are ignored — the probe keeps
 offering the ticket from the first connection, exactly as the paper
 does.
 
-Probes for all domains run interleaved on one virtual timeline (a
-min-heap of next-attempt events), the way the real measurement ran
-concurrently against every site, so a 24-hour experiment costs 24
-virtual hours total rather than 24 hours per domain.
+Probes for all domains run interleaved on one virtual timeline — one
+continuation per domain on a :class:`repro.netsim.eventloop.EventLoop`
+— the way the real measurement ran concurrently against every site, so
+a 24-hour experiment costs 24 virtual hours total rather than 24 hours
+per domain.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..netsim.clock import HOUR, MINUTE
+from ..netsim.eventloop import EventLoop, Wait
 from ..tls.ciphers import CipherSuite, MODERN_BROWSER_OFFER
 from ..tls.session import SessionState
 from .grab import ZGrabber
@@ -80,12 +81,30 @@ def resumption_probe(
         raise ValueError(f"unknown mechanism {config.mechanism!r}")
     ecosystem = grabber.ecosystem
     start = ecosystem.clock.now()
+    loop = EventLoop(ecosystem.clock.now, ecosystem.advance_to)
+
+    def probe_task(state: _ProbeState):
+        # Phase 0: the initial full handshake; then one resumption
+        # attempt per wake-up until failure or the 24-hour ceiling.
+        _run_initial_handshake(grabber, state, config)
+        if not _probe_continues(state, config):
+            return
+        state.started_at = ecosystem.clock.now()
+        yield Wait.until(state.started_at + config.first_retry_seconds)
+        while True:
+            elapsed = ecosystem.clock.now() - state.started_at
+            if elapsed > config.max_duration_seconds:
+                state.result.hit_probe_ceiling = True
+                return
+            if not _run_resumption_attempt(grabber, state, config, elapsed):
+                return
+            next_due = ecosystem.clock.now() + config.interval_seconds
+            if next_due - state.started_at > config.max_duration_seconds:
+                state.result.hit_probe_ceiling = True
+                return
+            yield Wait.until(next_due)
 
     states: list[_ProbeState] = []
-    # Heap entries: (due_time, sequence, state, phase); phase 0 is the
-    # initial full handshake, phase 1+ are resumption attempts.
-    heap: list[tuple[float, int, int, int]] = []
-    sequence = 0
     stagger = config.stagger_seconds / max(len(domains), 1)
     for index, (rank, name) in enumerate(domains):
         state = _ProbeState(
@@ -96,36 +115,9 @@ def resumption_probe(
             ),
         )
         states.append(state)
-        heapq.heappush(heap, (start + index * stagger, sequence, index, 0))
-        sequence += 1
-
-    while heap:
-        due, _, state_index, phase = heapq.heappop(heap)
-        ecosystem.advance_to(max(due, ecosystem.clock.now()))
-        state = states[state_index]
-        if phase == 0:
-            _run_initial_handshake(grabber, state, config)
-            if _probe_continues(state, config):
-                state.started_at = ecosystem.clock.now()
-                heapq.heappush(
-                    heap,
-                    (state.started_at + config.first_retry_seconds,
-                     sequence, state_index, 1),
-                )
-                sequence += 1
-            continue
-        elapsed = ecosystem.clock.now() - state.started_at
-        if elapsed > config.max_duration_seconds:
-            state.result.hit_probe_ceiling = True
-            continue
-        resumed = _run_resumption_attempt(grabber, state, config, elapsed)
-        if resumed:
-            next_due = ecosystem.clock.now() + config.interval_seconds
-            if next_due - state.started_at <= config.max_duration_seconds:
-                heapq.heappush(heap, (next_due, sequence, state_index, phase + 1))
-                sequence += 1
-            else:
-                state.result.hit_probe_ceiling = True
+        loop.spawn(probe_task(state), at=start + index * stagger,
+                   label=f"probe:{name}")
+    loop.run()
     return [state.result for state in states]
 
 

@@ -11,9 +11,10 @@ server-side rotations and cache expiries interleave realistically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..netsim.clock import HOUR, MINUTE
+from ..netsim.eventloop import EventLoop, Wait
 from ..tls.ciphers import CipherSuite, MODERN_BROWSER_OFFER
 from .grab import ZGrabber
 from .records import ScanObservation
@@ -34,6 +35,9 @@ def sweep(
     grabber: ZGrabber,
     domains: Sequence[tuple[int, str]],
     config: SweepConfig,
+    *,
+    concurrency: Optional[int] = None,
+    sink: Optional[Callable[[list[ScanObservation]], object]] = None,
 ) -> list[ScanObservation]:
     """Scan ``domains`` (rank, name) within the configured time window.
 
@@ -41,20 +45,42 @@ def sweep(
     evenly; for multi-connection scans, each domain's connections are
     spaced across the whole window (the paper's 10 connections over six
     hours), not fired back-to-back.
+
+    With ``concurrency`` set, grabs are admitted onto a
+    :class:`~repro.netsim.eventloop.EventLoop` in batches of that many
+    in-flight tasks; ``concurrency=None`` is the blocking reference
+    loop.  Both orders are identical — every grab is scheduled at its
+    window tick, and the loop resumes tasks in ``(due, admission)``
+    order — so batch size never changes output bytes, only how many
+    observations are buffered before each flush (memory).
+
+    ``sink`` receives observation batches as they complete (the
+    streaming engine's per-shard emit); without it, all observations
+    are returned as one list.
     """
     ecosystem = grabber.ecosystem
     observations: list[ScanObservation] = []
+    flush = sink if sink is not None else observations.extend
     if not domains:
+        if sink is not None:
+            flush([])
         return observations
     total = len(domains) * config.connections_per_domain
     step = config.window_seconds / max(total, 1)
     start = ecosystem.clock.now()
-    tick = 0
-    for round_index in range(config.connections_per_domain):
-        for rank, name in domains:
+    schedule = (
+        (tick, rank, name)
+        for tick, (rank, name) in enumerate(
+            (pair for _ in range(config.connections_per_domain) for pair in domains)
+        )
+    )
+    if concurrency is None:
+        # Blocking reference loop (the oracle path): one grab at a time,
+        # clock advanced to each grab's window tick.
+        batch: list[ScanObservation] = []
+        for tick, rank, name in schedule:
             ecosystem.advance_to(max(start + tick * step, ecosystem.clock.now()))
-            tick += 1
-            observations.append(
+            batch.append(
                 grabber.grab(
                     name,
                     rank=rank,
@@ -62,6 +88,40 @@ def sweep(
                     offer_tickets=config.offer_tickets,
                 )
             )
+        flush(batch)
+        return observations
+
+    window = max(1, int(concurrency))
+    loop = EventLoop(ecosystem.clock.now, ecosystem.advance_to)
+    batch = []
+
+    def one_grab(due: float, rank: int, name: str):
+        """Continuation for one scheduled grab: park until its window
+        tick, then run the (fast-path) grab to completion."""
+        yield Wait.until(due)
+        batch.append(
+            grabber.grab(
+                name,
+                rank=rank,
+                offer=config.offer,
+                offer_tickets=config.offer_tickets,
+            )
+        )
+
+    exhausted = False
+    while not exhausted:
+        admitted = 0
+        for tick, rank, name in schedule:
+            loop.spawn(one_grab(start + tick * step, rank, name))
+            admitted += 1
+            if admitted >= window:
+                break
+        else:
+            exhausted = True
+        if admitted:
+            loop.run()
+            flush(batch)
+            batch = []
     return observations
 
 
@@ -107,6 +167,9 @@ def thirty_minute_scan(
     grabber: ZGrabber,
     domains: Sequence[tuple[int, str]],
     offer: tuple[CipherSuite, ...] = MODERN_BROWSER_OFFER,
+    *,
+    concurrency: Optional[int] = None,
+    sink: Optional[Callable[[list[ScanObservation]], object]] = None,
 ) -> list[ScanObservation]:
     """The paper's single-connection scan in a 30-minute window (§5.2)."""
     return sweep(
@@ -118,6 +181,8 @@ def thirty_minute_scan(
             window_seconds=30 * MINUTE,
             label="30min",
         ),
+        concurrency=concurrency,
+        sink=sink,
     )
 
 

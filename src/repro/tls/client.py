@@ -20,12 +20,13 @@ scanner must keep scanning when a server misbehaves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Generator, Optional, Protocol
 
 from ..crypto import dh, ec
 from ..crypto.mac import sha256, constant_time_equal
 from ..crypto.prf import derive_master_secret, verify_data
 from ..crypto.rng import DeterministicRandom
+from ..netsim.eventloop import Wait
 from ..obs.metrics import METRICS
 from ..x509 import TrustStore, X509Certificate
 from .ciphers import CipherSuite, KeyExchangeKind, MODERN_BROWSER_OFFER
@@ -155,10 +156,15 @@ class TLSClient:
         result = HandshakeResult(ok=False, domain=server_name,
                                  offered_session_id=session_id)
         try:
-            self._handshake(
+            # Drive the continuation to completion inline: the simulated
+            # network has zero latency, so every Wait is already due.
+            # An event loop interleaving many clients drives the same
+            # generator through its heap instead (see netsim.eventloop).
+            for _wait in self.handshake_steps(
                 server, server_name, offer, session_id, ticket,
                 saved_session, offer_tickets, capture, result,
-            )
+            ):
+                pass
         except (TLSError, DecodeError, ValueError) as exc:
             result.ok = False
             if not result.error:
@@ -179,9 +185,9 @@ class TLSClient:
         records = parse_records(response_bytes)
         return result._record_cipher.unprotect(records[0])
 
-    # -- internals ----------------------------------------------------------
+    # -- continuation API ----------------------------------------------------
 
-    def _handshake(
+    def handshake_steps(
         self,
         server: ServerExchange,
         server_name: str,
@@ -192,7 +198,25 @@ class TLSClient:
         offer_tickets: bool,
         capture: bool,
         result: HandshakeResult,
-    ) -> None:
+    ) -> Generator[Wait, None, None]:
+        """The handshake as a resumable continuation.
+
+        This is the protocol-shim contract the event-driven scan core
+        schedules (docs/SCALING.md): a generator that yields a
+        :class:`~repro.netsim.eventloop.Wait` wherever bytes are on
+        the wire — once after each flight this client sends — and
+        mutates ``result`` as the exchange progresses.  Between
+        yields the step runs to completion synchronously; all
+        randomness comes from the client/server RNG streams in a
+        fixed per-step order, so driving the generator inline
+        (:meth:`connect`) or interleaved with thousands of others on
+        an :class:`~repro.netsim.eventloop.EventLoop` produces
+        byte-identical results.  Protocol errors raise through the
+        generator; :meth:`connect` converts them to ``result.error``.
+        A TLS 1.3 or STARTTLS shim plugs in by implementing the same
+        shape: yield per flight, never consult wall-clock time, and
+        draw randomness only from the deterministic streams.
+        """
         client_random = self._rng.random_bytes(32)
         result.client_random = client_random
         extensions = []
@@ -219,6 +243,7 @@ class TLSClient:
         if capture:
             result.captured.append(CapturedFlight(from_client=True, data=ch_bytes))
 
+        yield Wait(0.0)  # ClientHello in flight
         flight, server_conn = server.accept(ch_bytes)
         if capture:
             result.captured.append(CapturedFlight(from_client=False, data=flight))
@@ -248,12 +273,12 @@ class TLSClient:
             messages.append(message)
 
         if messages and isinstance(messages[-1], Finished):
-            self._finish_abbreviated(
+            yield from self._finish_abbreviated(
                 server, server_conn, server_hello, messages, saved_session,
                 session_id, ticket, transcript, capture, result, client_random,
             )
         else:
-            self._finish_full(
+            yield from self._finish_full(
                 server, server_conn, server_hello, messages, server_name,
                 transcript, capture, result, client_random, offer_tickets,
             )
@@ -271,7 +296,7 @@ class TLSClient:
         capture: bool,
         result: HandshakeResult,
         client_random: bytes,
-    ) -> None:
+    ) -> Generator[Wait, None, None]:
         if saved_session is None:
             raise HandshakeFailure("server resumed a session we did not offer")
         session = saved_session
@@ -301,6 +326,7 @@ class TLSClient:
         )
         if capture:
             result.captured.append(CapturedFlight(from_client=True, data=finished_bytes))
+        yield Wait(0.0)  # client Finished in flight
         server.finish_abbreviated(server_conn, finished_bytes)
 
         result.ok = True
@@ -331,7 +357,7 @@ class TLSClient:
         result: HandshakeResult,
         client_random: bytes,
         offer_tickets: bool,
-    ) -> None:
+    ) -> Generator[Wait, None, None]:
         certificate_msg = None
         kex_message = None
         saw_done = False
@@ -390,6 +416,7 @@ class TLSClient:
         if capture:
             result.captured.append(CapturedFlight(from_client=True, data=flight))
 
+        yield Wait(0.0)  # ClientKeyExchange + Finished in flight
         reply = server.finish_full(server_conn, flight)
         if capture:
             result.captured.append(CapturedFlight(from_client=False, data=reply))

@@ -260,7 +260,7 @@ class TLSServer:
         server_random = self._rng.random_bytes(32)
         transcript = serialize_handshake(client_hello)
 
-        resumed_session, resumed_via = self._try_resume(client_hello, suite, now)
+        resumed_session, resumed_via = self._try_resume(client_hello, now)
         if resumed_session is not None:
             return self._accept_abbreviated(
                 client_hello, resumed_session, resumed_via, server_random, transcript, now, sni
@@ -274,10 +274,21 @@ class TLSServer:
         return has_extension(client_hello.extensions, ExtensionType.SESSION_TICKET)
 
     def _try_resume(
-        self, client_hello: ClientHello, suite: CipherSuite, now: float
+        self, client_hello: ClientHello, now: float
     ) -> tuple[Optional[SessionState], Optional[str]]:
-        """RFC 5077 §3.4: a non-empty ticket takes precedence over the ID."""
         ticket = find_extension(client_hello.extensions, ExtensionType.SESSION_TICKET)
+        return self.resume_lookup(ticket or b"", client_hello.session_id, now)
+
+    def resume_lookup(
+        self, ticket: bytes, session_id: bytes, now: float
+    ) -> tuple[Optional[SessionState], Optional[str]]:
+        """RFC 5077 §3.4: a non-empty ticket takes precedence over the ID.
+
+        Shared resumption decision: :meth:`accept` calls it with the
+        decoded ClientHello offers, and the draw-identical fast path
+        (:mod:`repro.tls.fastpath`) with the client's raw offers —
+        both must see the same cache/STEK side effects and metrics.
+        """
         if ticket and self.config.stek_store is not None:
             contents = self.config.stek_store.open(ticket)
             if contents is not None:
@@ -287,8 +298,8 @@ class TLSServer:
                     return contents.session, "ticket"
             METRICS.counter("tls.server.resumption_rejected", via="ticket").inc()
             return None, None  # bad/expired ticket: fall through to full handshake
-        if client_hello.session_id and self.config.session_cache is not None:
-            session = self.config.session_cache.lookup(client_hello.session_id, now)
+        if session_id and self.config.session_cache is not None:
+            session = self.config.session_cache.lookup(session_id, now)
             if session is not None:
                 METRICS.counter(
                     "tls.server.resumption_accepted", via="session_id"

@@ -27,10 +27,11 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from ..crypto.aes import AES
 from ..crypto.mac import constant_time_equal, hmac_sha256
-from ..crypto.modes import PaddingError, cbc_decrypt, cbc_encrypt
+from ..crypto.modes import PaddingError, cbc_decrypt_with, cbc_encrypt_with
 from ..crypto.rng import DeterministicRandom
-from ..obs.metrics import METRICS
+from ..obs.metrics import METRICS, register_process_cache
 from .ciphers import SUITES_BY_CODE
 from .constants import ProtocolVersion
 from .session import SessionState
@@ -63,6 +64,24 @@ _OPEN_OK = METRICS.counter("tls.ticket.open")
 _OPEN_WRONG_KEY = METRICS.counter("tls.ticket.open_wrong_key")
 _OPEN_REJECT = METRICS.counter("tls.ticket.open_reject")
 
+# The per-STEK key-schedule cache (see ``STEK.cipher``): a hit reuses
+# the expanded schedule, a miss pays the one-time AES key expansion.
+# The cache lives on STEK objects, so the per-shard cold-cache reset
+# (``reset_process_caches``) can't clear it by reference; a generation
+# stamp invalidates every cached schedule instead, keeping the counters
+# a function of the shard alone (workers=1 reuses one process).
+_CIPHER_HIT = METRICS.counter("crypto.aes.stek_cipher.hit")
+_CIPHER_MISS = METRICS.counter("crypto.aes.stek_cipher.miss")
+_CIPHER_GENERATION = 0
+
+
+def _bump_cipher_generation() -> None:
+    global _CIPHER_GENERATION
+    _CIPHER_GENERATION += 1
+
+
+register_process_cache(_bump_cipher_generation)
+
 
 @dataclass(frozen=True)
 class STEK:
@@ -84,6 +103,27 @@ class STEK:
             raise ValueError("STEK AES key must be 16 bytes (AES-128)")
         if len(self.hmac_key) != 32:
             raise ValueError("STEK HMAC key must be 32 bytes")
+
+    @property
+    def cipher(self) -> AES:
+        """The expanded AES key schedule for ``aes_key``, built once.
+
+        Keeping the schedule on the STEK ties its lifetime to the key's
+        own: the process-wide ``aes_for_key`` LRU is sized for a handful
+        of hot keys, and a full-ecosystem scan touching one STEK per
+        domain per pass would cycle it (every lookup a miss).  Cached in
+        ``__dict__`` because the dataclass is frozen; this is identity
+        state, not value state, so it stays out of ``==``/``repr``.
+        """
+        cached = self.__dict__.get("_cipher")
+        if cached is not None and self.__dict__.get("_cipher_gen") == _CIPHER_GENERATION:
+            _CIPHER_HIT.inc()
+            return cached
+        _CIPHER_MISS.inc()
+        cached = AES(self.aes_key)
+        self.__dict__["_cipher"] = cached
+        self.__dict__["_cipher_gen"] = _CIPHER_GENERATION
+        return cached
 
 
 def generate_stek(
@@ -170,7 +210,7 @@ def seal_ticket(
         issued_at = session.created_at
     _SEAL.value += 1
     iv = rng.random_bytes(16)
-    encrypted = cbc_encrypt(stek.aes_key, iv, _encode_state(session, issued_at))
+    encrypted = cbc_encrypt_with(stek.cipher, iv, _encode_state(session, issued_at))
     mac = hmac_sha256(stek.hmac_key, stek.key_name + iv + encrypted)
     header = _SCHANNEL_HEADER if ticket_format is TicketFormat.SCHANNEL else b""
     return b"".join(
@@ -251,7 +291,7 @@ def open_ticket(
         _OPEN_REJECT.value += 1
         return None
     try:
-        plaintext = cbc_decrypt(stek.aes_key, iv, encrypted)
+        plaintext = cbc_decrypt_with(stek.cipher, iv, encrypted)
         contents = _decode_state(plaintext)
     except (PaddingError, DecodeError, ValueError):
         _OPEN_REJECT.value += 1

@@ -148,7 +148,9 @@ def test_stats_renders_report(telemetry_run, capsys):
     assert "run manifest: study" in out
     assert "per-experiment grabs:" in out
     assert "cache effectiveness:" in out
-    assert "crypto.aes.key_cache" in out
+    # The scan hot path's crypto cache: the per-STEK key-schedule cache
+    # (the process-wide aes_for_key LRU no longer sees study traffic).
+    assert "crypto.aes.stek_cipher" in out
 
 
 def test_stats_prometheus_exposition(telemetry_run, capsys):
